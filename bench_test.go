@@ -1,0 +1,349 @@
+// Package tcppuzzles_test hosts the benchmark harness: one benchmark per
+// table and figure in the paper's evaluation (§6), plus microbenchmarks of
+// the puzzle primitives and ablation benches for the design choices called
+// out in DESIGN.md.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure/table benches execute a scaled-down scenario per iteration and
+// report the headline quantities as custom metrics (e.g. Mbps during the
+// attack, effective attacker connections/second). The cmd/tcpz-exp binary
+// runs the full-size versions.
+package tcppuzzles_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/experiments"
+	"github.com/tcppuzzles/tcppuzzles/membound"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// benchScale is the reduced deployment used by the figure benches.
+func benchScale() experiments.FloodScale {
+	return experiments.FloodScale{
+		Duration: 60 * time.Second, AttackStart: 15 * time.Second, AttackStop: 45 * time.Second,
+		NumClients: 4, ClientRate: 8, BotCount: 4, PerBotRate: 80,
+		Backlog: 128, AcceptBacklog: 128, Workers: 48, Seed: 42,
+	}
+}
+
+func BenchmarkFig3aClientProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Wav, "wav-hashes")
+	}
+}
+
+func BenchmarkFig3bServerProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig3b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Alpha, "alpha")
+	}
+}
+
+func BenchmarkFig6ConnTimeCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(experiments.Fig6Config{
+			Ks: []uint8{1, 2}, Ms: []uint8{4, 10, 16}, Connections: 40, Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if mean, ok := res.MeanFor(2, 16); ok {
+			b.ReportMetric(mean, "µs-k2m16")
+		}
+	}
+}
+
+func BenchmarkFig7SYNFlood(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if run, ok := res.RunFor("challenges-m17"); ok {
+			b.ReportMetric(run.PhaseMean(run.ClientThroughputMbps(), experiments.PhaseDuring),
+				"Mbps-puzzles-during")
+		}
+		if run, ok := res.RunFor("nodefense"); ok {
+			b.ReportMetric(run.PhaseMean(run.ClientThroughputMbps(), experiments.PhaseDuring),
+				"Mbps-nodefense-during")
+		}
+	}
+}
+
+func BenchmarkFig8ConnFlood(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if run, ok := res.RunFor("challenges-m17"); ok {
+			b.ReportMetric(run.PhaseMean(run.ClientThroughputMbps(), experiments.PhaseDuring),
+				"Mbps-puzzles-during")
+		}
+		if run, ok := res.RunFor("cookies"); ok {
+			b.ReportMetric(run.PhaseMean(run.ClientThroughputMbps(), experiments.PhaseDuring),
+				"Mbps-cookies-during")
+		}
+	}
+}
+
+func BenchmarkFig9CPUUtil(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Run.PhaseMean(res.Run.ServerCPU(), experiments.PhaseDuring), "srv-cpu-pct")
+		b.ReportMetric(res.Run.PhaseMean(res.Run.AttackerCPU(), experiments.PhaseDuring), "att-cpu-pct")
+	}
+}
+
+func BenchmarkFig10Queues(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, pzAccept := res.Puzzles.QueueSizes()
+		_, ckAccept := res.Cookies.QueueSizes()
+		b.ReportMetric(res.Puzzles.PhaseMean(pzAccept, experiments.PhaseDuring), "acceptq-puzzles")
+		b.ReportMetric(res.Cookies.PhaseMean(ckAccept, experiments.PhaseDuring), "acceptq-cookies")
+	}
+}
+
+func BenchmarkFig11AttackRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ReductionFactor(), "reduction-x")
+	}
+}
+
+func BenchmarkFig12DifficultyGrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(experiments.Fig12Config{
+			Ks: []uint8{2}, Ms: []uint8{12, 17}, Scale: benchScale(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cell, ok := res.CellFor(2, 17); ok {
+			b.ReportMetric(cell.Box.Mean, "Mbps-nash-mean")
+			b.ReportMetric(cell.Box.Std, "Mbps-nash-std")
+		}
+	}
+}
+
+func BenchmarkFig13RateSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(benchScale(), []float64{100, 400})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.CompletionRate, "cps-at-max-rate")
+	}
+}
+
+func BenchmarkFig14BotnetSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(benchScale(), []int{2, 8}, 400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.CompletionRate, "cps-at-max-size")
+	}
+}
+
+func BenchmarkFig15Adoption(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig15(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cell, ok := res.CellFor("(SA,SC)"); ok {
+			b.ReportMetric(cell.PctEstablished, "pct-solving-client")
+		}
+		if cell, ok := res.CellFor("(NA,NC)"); ok {
+			b.ReportMetric(cell.PctEstablished, "pct-nonsolving-client")
+		}
+	}
+}
+
+func BenchmarkTable1IoTProfile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table1()
+		b.ReportMetric(res.Rows[0].MaxFloodRateCPS, "d1-max-flood-cps")
+	}
+}
+
+func BenchmarkNashExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.NashExample()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Params.M), "m-star")
+	}
+}
+
+func BenchmarkAblationOpportunistic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationOpportunistic(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		opp := res.Opportunistic.PhaseMean(
+			res.Opportunistic.ClientThroughputMbps(), experiments.PhaseBefore)
+		always := res.AlwaysOn.PhaseMean(
+			res.AlwaysOn.ClientThroughputMbps(), experiments.PhaseBefore)
+		b.ReportMetric(opp, "Mbps-opportunistic-peace")
+		b.ReportMetric(always, "Mbps-alwayson-peace")
+	}
+}
+
+func BenchmarkAblationSolutionFlood(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationSolutionFlood(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Run.PhaseMean(res.Run.ServerCPU(), experiments.PhaseDuring), "srv-cpu-pct")
+	}
+}
+
+// --- Microbenchmarks of the puzzle primitives (§7's server-load claims). ---
+
+func benchIssuer(b *testing.B, p puzzle.Params) (*puzzle.Issuer, puzzle.FlowID) {
+	b.Helper()
+	is, err := puzzle.NewIssuer(puzzle.WithParams(p))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return is, puzzle.FlowID{SrcIP: [4]byte{10, 0, 0, 2}, SrcPort: 4000, DstPort: 80, ISN: 7}
+}
+
+func BenchmarkPuzzleIssue(b *testing.B) {
+	is, flow := benchIssuer(b, puzzle.Params{K: 2, M: 17, L: 32})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = is.Issue(flow)
+	}
+}
+
+func BenchmarkPuzzleVerify(b *testing.B) {
+	p := puzzle.Params{K: 2, M: 8, L: 32}
+	is, flow := benchIssuer(b, p)
+	sol, _, err := puzzle.Solve(is.Issue(flow))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := is.Verify(flow, sol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPuzzleSolveM8(b *testing.B) {
+	is, flow := benchIssuer(b, puzzle.Params{K: 1, M: 8, L: 32})
+	b.ReportAllocs()
+	var hashes uint64
+	for i := 0; i < b.N; i++ {
+		flow.ISN = uint32(i)
+		_, stats, err := puzzle.Solve(is.Issue(flow))
+		if err != nil {
+			b.Fatal(err)
+		}
+		hashes += stats.Hashes
+	}
+	b.ReportMetric(float64(hashes)/float64(b.N), "hashes/solve")
+}
+
+func BenchmarkPuzzleSolveM12(b *testing.B) {
+	is, flow := benchIssuer(b, puzzle.Params{K: 1, M: 12, L: 32})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		flow.ISN = uint32(i)
+		if _, _, err := puzzle.Solve(is.Issue(flow)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMemoryBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationMemoryBound()
+		b.ReportMetric(res.HashCV, "hash-cv")
+		b.ReportMetric(res.MemCV, "membound-cv")
+	}
+}
+
+func BenchmarkAblationAdaptive(b *testing.B) {
+	scale := benchScale()
+	scale.Duration = 160 * time.Second
+	scale.AttackStop = 105 * time.Second
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationAdaptive(scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.PeakM(), "peak-m")
+	}
+}
+
+func BenchmarkMemboundSolve(b *testing.B) {
+	tbl, err := membound.NewTable([]byte("bench"), membound.DefaultLogSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := membound.Params{M: 8, Walk: 64}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var accesses uint64
+	for i := 0; i < b.N; i++ {
+		ch := membound.Challenge{Params: params, Preimage: []byte{byte(i), byte(i >> 8), byte(i >> 16)}}
+		_, stats, err := tbl.Solve(ch, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses += stats.Accesses
+	}
+	b.ReportMetric(float64(accesses)/float64(b.N), "accesses/solve")
+}
+
+func BenchmarkMemboundVerify(b *testing.B) {
+	tbl, err := membound.NewTable([]byte("bench"), membound.DefaultLogSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch := membound.Challenge{Params: membound.Params{M: 8, Walk: 64}, Preimage: []byte("v")}
+	sol, _, err := tbl.Solve(ch, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tbl.Verify(ch, sol); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command tcpz-exp runs the paper's experiments and prints their result
+// tables.
+//
+// Usage:
+//
+//	tcpz-exp -exp fig8 -scale paper
+//	tcpz-exp -exp all -scale quick
+//	tcpz-exp -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tcpz-exp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tcpz-exp", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id (see -list) or 'all'")
+	scale := fs.String("scale", "quick", "experiment scale: quick or paper")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(sim.ExperimentIDs(), "\n"))
+		return nil
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = sim.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := sim.RunExperiment(id, sim.Scale(*scale))
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Command tcpz-profile measures the local machine's SHA-256 hash rate and
+// derives the model parameters of §4.3: the client valuation w (hashes
+// affordable within the 400 ms handshake budget) and — given a measured or
+// assumed server α — the Nash-equilibrium puzzle difficulty.
+//
+// Usage:
+//
+//	tcpz-profile                 # profile this machine
+//	tcpz-profile -alpha 1.1      # also compute (k*, m*)
+//	tcpz-profile -budget 400ms -duration 2s
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/game"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tcpz-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tcpz-profile", flag.ContinueOnError)
+	duration := fs.Duration("duration", 2*time.Second, "measurement length")
+	budget := fs.Duration("budget", 400*time.Millisecond, "handshake usability budget")
+	alpha := fs.Float64("alpha", 1.1, "server service parameter α (from a stress test)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rate := measureHashRate(*duration)
+	wav := game.WavFromHashRate(rate, *budget)
+	fmt.Printf("SHA-256 rate        %.0f hashes/s\n", rate)
+	fmt.Printf("w (hashes in %v)    %.0f\n", *budget, wav)
+
+	params, err := game.SelectParams(wav, *alpha, game.SelectionConfig{})
+	if err != nil {
+		return fmt.Errorf("select difficulty: %w", err)
+	}
+	lstar, err := game.LStar(wav, *alpha)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("α                   %.3f\n", *alpha)
+	fmt.Printf("ℓ* = w/(α+1)        %.0f hashes\n", lstar)
+	fmt.Printf("Nash difficulty     k=%d m=%d (expected solve %.0f hashes, verify %.1f)\n",
+		params.K, params.M, params.ExpectedSolveHashes(), params.ExpectedVerifyHashes())
+	fmt.Printf("solve time here     %v\n",
+		time.Duration(params.ExpectedSolveHashes()/rate*float64(time.Second)).Round(time.Millisecond))
+	return nil
+}
+
+// measureHashRate runs SHA-256 over a counter for the given duration — the
+// profiling loop behind Fig. 3a and Table 1.
+func measureHashRate(d time.Duration) float64 {
+	var buf [40]byte
+	deadline := time.Now().Add(d)
+	var n uint64
+	start := time.Now()
+	for time.Now().Before(deadline) {
+		// Batch to keep the clock out of the hot loop.
+		for i := 0; i < 4096; i++ {
+			binary.BigEndian.PutUint64(buf[:8], n)
+			sum := sha256.Sum256(buf[:])
+			buf[8] = sum[0] // data-dependence defeats dead-code elimination
+			n++
+		}
+	}
+	return float64(n) / time.Since(start).Seconds()
+}

@@ -1,0 +1,58 @@
+// Command tcpz-proxy runs a puzzle-verifying front-end proxy (§7): it
+// accepts TCP connections, requires each client to solve a puzzle at the
+// configured difficulty, and splices verified connections to a backend.
+//
+// Usage:
+//
+//	tcpz-proxy -listen :8080 -backend 127.0.0.1:80 -k 2 -m 17
+//	tcpz-proxy -listen :8080 -backend 127.0.0.1:80 -pending 64   # opportunistic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/puzzlenet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tcpz-proxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tcpz-proxy", flag.ContinueOnError)
+	listen := fs.String("listen", ":8080", "address to listen on")
+	backend := fs.String("backend", "127.0.0.1:80", "backend address")
+	k := fs.Int("k", 2, "solutions per challenge")
+	m := fs.Int("m", 17, "difficulty bits per solution")
+	l := fs.Int("l", 32, "preimage/solution length in bits")
+	maxAge := fs.Duration("maxage", 30*time.Second, "challenge replay window")
+	pending := fs.Int("pending", 0, "challenge only above this many pending verifications (0 = always)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := puzzle.Params{K: uint8(*k), M: uint8(*m), L: uint8(*l)}
+	issuer, err := puzzle.NewIssuer(puzzle.WithParams(params), puzzle.WithMaxAge(*maxAge))
+	if err != nil {
+		return err
+	}
+	opts := []puzzlenet.ListenerOption{puzzlenet.WithHandshakeTimeout(*maxAge)}
+	if *pending > 0 {
+		opts = append(opts, puzzlenet.WithPolicy(puzzlenet.PolicyPending{Threshold: *pending}))
+	}
+	ln, err := puzzlenet.Listen(*listen, issuer, opts...)
+	if err != nil {
+		return err
+	}
+	proxy := puzzlenet.NewProxy(ln, *backend)
+	fmt.Printf("tcpz-proxy: %s -> %s, difficulty %v (≈%.0f hashes/solve)\n",
+		*listen, *backend, params, params.ExpectedSolveHashes())
+	return proxy.Serve()
+}

@@ -1,0 +1,91 @@
+// Difficulty selection with the Stackelberg game (§3–§4): sweep server
+// provisioning and client hardware to see how the Nash-equilibrium puzzle
+// difficulty moves, and cross-check the closed form against the finite-N
+// numeric solver.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/game"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Client hardware profiles: hashes/second (see Fig. 3a / Table 1).
+	devices := []struct {
+		name string
+		rate float64
+	}{
+		{"raspberry-pi-B", 49617},
+		{"xeon-x3210", 330000},
+		{"xeon-e3-1260l", 450000},
+		{"modern-desktop", 5_000_000},
+	}
+	budget := 400 * time.Millisecond
+
+	fmt.Println("Nash difficulty by client hardware and server provisioning")
+	fmt.Printf("%-16s %12s | %-12s %-12s %-12s\n", "client", "w (hashes)",
+		"α=0.5", "α=1.1", "α=4.0")
+	for _, dev := range devices {
+		wav := game.WavFromHashRate(dev.rate, budget)
+		fmt.Printf("%-16s %12.0f |", dev.name, wav)
+		for _, alpha := range []float64{0.5, 1.1, 4.0} {
+			p, err := game.SelectParams(wav, alpha, game.SelectionConfig{})
+			if err != nil {
+				fmt.Printf(" %-12s", "n/a")
+				continue
+			}
+			fmt.Printf(" k=%d,m=%-6d", p.K, p.M)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	// The worked example of §4.4, end to end.
+	const (
+		wav   = 140630.0
+		alpha = 1.1
+	)
+	lstar, err := game.LStar(wav, alpha)
+	if err != nil {
+		return err
+	}
+	params, err := game.SelectParams(wav, alpha, game.SelectionConfig{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("paper example: w_av=%.0f, α=%.1f ⇒ ℓ*=%.0f ⇒ (k,m)=(%d,%d)\n",
+		wav, alpha, lstar, params.K, params.M)
+
+	// Cross-check with the finite-N followers' game.
+	for _, n := range []int{100, 1000, 10000} {
+		g := game.UniformGame(n, wav, alpha*float64(n))
+		finite, err := g.OptimalDifficulty()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("finite N=%-6d numeric ℓ* = %.0f (asymptotic %.0f)\n", n, finite, lstar)
+	}
+
+	// What the clients do at equilibrium: rates and dropout.
+	g := game.FiniteGame{Weights: []float64{20_000, 140_000, 600_000}, Mu: 50}
+	rates, err := g.EquilibriumRates(lstar)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("heterogeneous clients at the Nash difficulty (requests/s):")
+	for i, r := range rates {
+		fmt.Printf("  client with w=%-8.0f → x* = %.2f\n", g.Weights[i], r)
+	}
+	fmt.Println("low-valuation clients drop out (x*=0) — the fairness concern of §7.")
+	return nil
+}

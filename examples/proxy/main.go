@@ -1,0 +1,119 @@
+// Real-TCP deployment: a puzzle-verifying proxy in front of a plain HTTP-ish
+// backend, and a solving client connecting through it (the §7 front-end
+// tier, over live sockets on localhost).
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/puzzlenet"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Backend: a trivial text service (the paper's gettext/size).
+	backend, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer backend.Close()
+	go serveBackend(backend)
+
+	// Front-end: puzzle-gated proxy at a modest difficulty.
+	params := puzzle.Params{K: 2, M: 14, L: 32}
+	issuer, err := puzzle.NewIssuer(puzzle.WithParams(params))
+	if err != nil {
+		return err
+	}
+	front, err := puzzlenet.Listen("127.0.0.1:0", issuer)
+	if err != nil {
+		return err
+	}
+	proxy := puzzlenet.NewProxy(front, backend.Addr().String())
+	go func() {
+		if err := proxy.Serve(); err != nil {
+			log.Println("proxy:", err)
+		}
+	}()
+	defer proxy.Close()
+
+	fmt.Printf("backend  %s\n", backend.Addr())
+	fmt.Printf("frontend %s (difficulty %v, ≈%.0f hashes/solve)\n",
+		front.Addr(), params, params.ExpectedSolveHashes())
+
+	// A solving client connects through the proxy.
+	dialer := &puzzlenet.Dialer{
+		OnSolve: func(p puzzle.Params, hashes uint64) {
+			fmt.Printf("client solved %v with %d hashes\n", p, hashes)
+		},
+	}
+	start := time.Now()
+	conn, err := dialer.Dial("tcp", front.Addr().String())
+	if err != nil {
+		return fmt.Errorf("dial through proxy: %w", err)
+	}
+	defer conn.Close()
+	fmt.Printf("connected in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if _, err := fmt.Fprintf(conn, "gettext/64\n"); err != nil {
+		return err
+	}
+	reply := make([]byte, 64)
+	if _, err := io.ReadFull(conn, reply); err != nil {
+		return err
+	}
+	fmt.Printf("got %d bytes from the backend through the verified tunnel\n", len(reply))
+
+	// A client that refuses to solve gets nothing.
+	raw, err := net.Dial("tcp", front.Addr().String())
+	if err != nil {
+		return err
+	}
+	defer raw.Close()
+	_ = raw.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := fmt.Fprintf(raw, "gettext/64\n"); err != nil {
+		return err
+	}
+	buf := make([]byte, 128)
+	for {
+		if _, err := raw.Read(buf); err != nil {
+			fmt.Println("non-solving client was refused service, as intended")
+			break
+		}
+	}
+	stats := front.Stats()
+	fmt.Printf("listener stats: %+v\n", stats)
+	return nil
+}
+
+// serveBackend answers "gettext/N" lines with N bytes of text.
+func serveBackend(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer conn.Close()
+			var n int
+			if _, err := fmt.Fscanf(conn, "gettext/%d\n", &n); err != nil || n <= 0 || n > 1<<20 {
+				return
+			}
+			payload := make([]byte, n)
+			for i := range payload {
+				payload[i] = 'a' + byte(i%26)
+			}
+			_, _ = conn.Write(payload)
+		}()
+	}
+}

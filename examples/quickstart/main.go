@@ -1,0 +1,92 @@
+// Quickstart: issue, solve and verify a TCP client puzzle, with the
+// difficulty chosen by the paper's Stackelberg equilibrium.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/tcpopt"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Pick the difficulty from the paper's measured model parameters
+	//    (§4.4): w_av = 140630 hashes per 400 ms, α = 1.1 ⇒ (k, m) = (2, 17).
+	nash, err := tcppuzzles.NashParams(140630, 1.1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Nash difficulty: %v — expected solve work %.0f hashes\n",
+		nash, nash.ExpectedSolveHashes())
+
+	// For this demo we solve something gentler so it finishes instantly.
+	demo := puzzle.Params{K: nash.K, M: 12, L: 32}
+
+	// 2. The server issues a challenge bound to the connection's flow.
+	issuer, err := puzzle.NewIssuer(puzzle.WithParams(demo))
+	if err != nil {
+		return err
+	}
+	flow := puzzle.FlowID{
+		SrcIP: [4]byte{192, 0, 2, 7}, DstIP: [4]byte{198, 51, 100, 1},
+		SrcPort: 52044, DstPort: 443, ISN: 0x1d95c0de,
+	}
+	ch := issuer.Issue(flow)
+
+	// 3. The challenge rides the SYN-ACK as TCP option 0xfc.
+	chOpt, err := tcpopt.EncodeChallenge(ch, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("challenge option: %d bytes on the wire\n", tcpopt.ChallengeWireSize(demo, true))
+
+	// 4. The client parses and brute-forces the k solutions.
+	parsed, err := tcpopt.ParseChallenge(chOpt)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	sol, stats, err := puzzle.Solve(parsed.Challenge)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("solved with %d hash operations in %v (expected %.0f)\n",
+		stats.Hashes, time.Since(start).Round(time.Microsecond), demo.ExpectedSolveHashes())
+
+	// 5. The solution rides the final ACK as TCP option 0xfd, re-carrying
+	//    the MSS and window scale the stateless server forgot.
+	solOpt, err := tcpopt.EncodeSolution(tcpopt.SolutionBlock{
+		MSS: 1460, WScale: 7, HasTimestamp: true, Solution: sol,
+	})
+	if err != nil {
+		return err
+	}
+	blk, err := tcpopt.ParseSolution(solOpt, issuer.Params())
+	if err != nil {
+		return err
+	}
+
+	// 6. The server verifies statelessly and accepts the connection.
+	info, err := issuer.VerifyDetailed(flow, blk.Solution)
+	if err != nil {
+		return fmt.Errorf("verification failed: %w", err)
+	}
+	fmt.Printf("verified with %d hash operations — connection accepted\n", info.Hashes)
+
+	// A replay on a different flow is rejected.
+	other := flow
+	other.SrcPort++
+	if err := issuer.Verify(other, blk.Solution); err != nil {
+		fmt.Printf("replay on different flow rejected: %v\n", err)
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+// Package game implements the Stackelberg difficulty-selection model of the
+// paper (§3–§4 and Appendix A).
+//
+// The server (leader) picks a puzzle difficulty; N selfish clients
+// (followers) pick request rates x_i maximising
+//
+//	u_i = w_i·log(1 + x_i) − ℓ(p)·x_i − 1/(µ − x̄)          (Eq. 4)
+//
+// where ℓ(p) = k·2^(m−1) is the expected solve cost, µ the server's M/M/1
+// service rate, and x̄ the total load. The provider maximises
+// Σ(ℓ(p) − g(p) − d(p))·x_i*(p) over difficulties (Eq. 5).
+//
+// Two solvers are provided:
+//
+//   - The asymptotic closed form of Theorem 1 / Eq. 18:
+//     ℓ* = w_av / (α + 1), where w_av is the limiting average client
+//     valuation (hashes per request a client will pay) and α = lim µ/N the
+//     asymptotic per-user service parameter. Higher α (better provisioning)
+//     ⇒ easier puzzles, as §4.2 discusses.
+//
+//   - A finite-N numeric solver: the followers' equilibrium ȳ solves
+//     L̃(ȳ) = w̄/ȳ − ℓ − 1/(µ+N−ȳ)² = 0 on [N, N+µ) (Eq. 9, strictly
+//     decreasing ⇒ bisection), and the provider's optimum maximises
+//     G(ȳ) = (w̄/ȳ − 1/(µ+N−ȳ)²)(ȳ−N) (Eq. 14, strictly concave ⇒
+//     golden-section search).
+//
+// ParamsFor converts a target work level ℓ* into wire parameters (k, m):
+// m = ⌈log₂(ℓ*/k)⌉ + 1. With the paper's worked example (w_av = 140630,
+// α = 1.1, k = 2) this yields m = 17, matching §4.4.
+//
+// The profiling helpers implement §4.3: w_av from a device's hash rate and
+// the 400 ms usability budget (Nielsen 1993), and α from a stress test as
+// the ratio of sustained service rate to concurrent load (Fig. 3b).
+package game

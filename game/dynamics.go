@@ -1,0 +1,78 @@
+package game
+
+import (
+	"fmt"
+	"math"
+)
+
+// DynamicsResult reports a best-response dynamics run.
+type DynamicsResult struct {
+	// Rates are the final per-client request rates.
+	Rates []float64
+	// Rounds is the number of full sweeps performed.
+	Rounds int
+	// Converged reports whether the largest per-client rate change in the
+	// final round fell below the tolerance.
+	Converged bool
+	// MaxDelta is the largest rate change in the final round.
+	MaxDelta float64
+}
+
+// BestResponseDynamics simulates the followers' game as iterated play:
+// starting from the given rates (zeros when nil), each client in turn
+// replaces its rate with its best response to the others. For the strictly
+// concave utilities of Eq. 4 this converges to the Nash equilibrium, which
+// validates that the equilibrium the solver computes is the one selfish
+// clients actually reach — the behavioural assumption behind §3.2.
+func (g FiniteGame) BestResponseDynamics(l float64, start []float64, maxRounds int, tol float64) (DynamicsResult, error) {
+	if err := g.Validate(); err != nil {
+		return DynamicsResult{}, err
+	}
+	if l < 0 {
+		return DynamicsResult{}, fmt.Errorf("game: difficulty %v: %w", l, ErrInvalidModel)
+	}
+	if maxRounds <= 0 {
+		maxRounds = 200
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	n := g.N()
+	rates := make([]float64, n)
+	if start != nil {
+		if len(start) != n {
+			return DynamicsResult{}, fmt.Errorf("game: %d starting rates for %d clients: %w",
+				len(start), n, ErrInvalidModel)
+		}
+		copy(rates, start)
+	}
+	res := DynamicsResult{Rates: rates}
+	for round := 1; round <= maxRounds; round++ {
+		res.Rounds = round
+		res.MaxDelta = 0
+		var total float64
+		for _, r := range rates {
+			total += r
+		}
+		for i := range rates {
+			others := total - rates[i]
+			br := BestResponse(g.Weights[i], others, l, g.Mu)
+			// Damped update: undamped play oscillates because the shared
+			// congestion term 1/(µ−x̄) couples every move; averaging with
+			// the previous rate (a standard stabilisation for fictitious
+			// play) restores convergence to the same fixed point.
+			next := 0.5*rates[i] + 0.5*br
+			delta := math.Abs(br - rates[i])
+			if delta > res.MaxDelta {
+				res.MaxDelta = delta
+			}
+			total = others + next
+			rates[i] = next
+		}
+		if res.MaxDelta < tol {
+			res.Converged = true
+			break
+		}
+	}
+	return res, nil
+}

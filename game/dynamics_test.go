@@ -1,0 +1,100 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBestResponseDynamicsConvergesToNash(t *testing.T) {
+	g := UniformGame(8, 3000, 120)
+	l := 500.0
+	// Tolerance sits above the golden-section solver's ~1e-7 noise floor.
+	dyn, err := g.BestResponseDynamics(l, nil, 500, 1e-6)
+	if err != nil {
+		t.Fatalf("BestResponseDynamics: %v", err)
+	}
+	if !dyn.Converged {
+		t.Fatalf("did not converge in %d rounds (maxDelta=%v)", dyn.Rounds, dyn.MaxDelta)
+	}
+	want, err := g.EquilibriumRates(l)
+	if err != nil {
+		t.Fatalf("EquilibriumRates: %v", err)
+	}
+	for i := range want {
+		if math.Abs(dyn.Rates[i]-want[i]) > 0.01*(1+want[i]) {
+			t.Errorf("client %d dynamics rate %v vs equilibrium %v", i, dyn.Rates[i], want[i])
+		}
+	}
+}
+
+func TestBestResponseDynamicsHeterogeneous(t *testing.T) {
+	g := FiniteGame{Weights: []float64{500, 2000, 8000}, Mu: 60}
+	dyn, err := g.BestResponseDynamics(300, nil, 500, 1e-8)
+	if err != nil {
+		t.Fatalf("BestResponseDynamics: %v", err)
+	}
+	if !dyn.Converged {
+		t.Fatal("did not converge")
+	}
+	// Higher valuations end up with higher rates.
+	if !(dyn.Rates[0] < dyn.Rates[1] && dyn.Rates[1] < dyn.Rates[2]) {
+		t.Errorf("rates not ordered by valuation: %v", dyn.Rates)
+	}
+	// Cross-check against the analytic equilibrium.
+	want, err := g.EquilibriumRates(300)
+	if err != nil {
+		t.Fatalf("EquilibriumRates: %v", err)
+	}
+	for i := range want {
+		if math.Abs(dyn.Rates[i]-want[i]) > 0.02*(1+want[i]) {
+			t.Errorf("client %d: dynamics %v vs analytic %v", i, dyn.Rates[i], want[i])
+		}
+	}
+}
+
+func TestBestResponseDynamicsFromArbitraryStart(t *testing.T) {
+	g := UniformGame(4, 1000, 40)
+	l := 80.0
+	fromZero, err := g.BestResponseDynamics(l, nil, 500, 1e-8)
+	if err != nil {
+		t.Fatalf("from zero: %v", err)
+	}
+	fromHigh, err := g.BestResponseDynamics(l, []float64{9, 9, 9, 9}, 500, 1e-8)
+	if err != nil {
+		t.Fatalf("from high: %v", err)
+	}
+	for i := range fromZero.Rates {
+		if math.Abs(fromZero.Rates[i]-fromHigh.Rates[i]) > 1e-4 {
+			t.Errorf("client %d: different fixed points %v vs %v",
+				i, fromZero.Rates[i], fromHigh.Rates[i])
+		}
+	}
+}
+
+func TestBestResponseDynamicsHardPuzzlesShutOutClients(t *testing.T) {
+	g := UniformGame(3, 100, 50)
+	// Difficulty far above every client's valuation: all rates go to zero.
+	dyn, err := g.BestResponseDynamics(10_000, nil, 100, 1e-8)
+	if err != nil {
+		t.Fatalf("BestResponseDynamics: %v", err)
+	}
+	for i, r := range dyn.Rates {
+		if r != 0 {
+			t.Errorf("client %d rate %v, want 0 at unaffordable difficulty", i, r)
+		}
+	}
+}
+
+func TestBestResponseDynamicsValidation(t *testing.T) {
+	g := UniformGame(3, 100, 50)
+	if _, err := g.BestResponseDynamics(-1, nil, 10, 1e-6); err == nil {
+		t.Error("negative difficulty accepted")
+	}
+	if _, err := g.BestResponseDynamics(1, []float64{1}, 10, 1e-6); err == nil {
+		t.Error("wrong start length accepted")
+	}
+	bad := FiniteGame{}
+	if _, err := bad.BestResponseDynamics(1, nil, 10, 1e-6); err == nil {
+		t.Error("invalid game accepted")
+	}
+}

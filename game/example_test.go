@@ -1,0 +1,58 @@
+package game_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/game"
+)
+
+// The worked example of the paper's §4.4: measured model parameters yield
+// the Nash-equilibrium difficulty (k, m) = (2, 17).
+func ExampleSelectParams() {
+	const (
+		wav   = 140630 // hashes a client affords in the 400 ms budget
+		alpha = 1.1    // server service parameter from the stress test
+	)
+	params, err := game.SelectParams(wav, alpha, game.SelectionConfig{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	lstar, _ := game.LStar(wav, alpha)
+	fmt.Printf("ℓ* = %.0f hashes\n", lstar)
+	fmt.Printf("difficulty = (k=%d, m=%d)\n", params.K, params.M)
+	// Output:
+	// ℓ* = 66967 hashes
+	// difficulty = (k=2, m=17)
+}
+
+// Profiling a device into a client valuation (§4.3).
+func ExampleWavFromHashRate() {
+	// A machine hashing at 351,575 SHA-256/s affords this much work within
+	// the 400 ms handshake budget.
+	w := game.WavFromHashRate(351575, 400*time.Millisecond)
+	fmt.Printf("w = %.0f hashes\n", w)
+	// Output:
+	// w = 140630 hashes
+}
+
+// Solving the finite-N followers' game numerically.
+func ExampleFiniteGame_EquilibriumRates() {
+	g := game.FiniteGame{
+		Weights: []float64{1000, 2000, 4000}, // heterogeneous valuations
+		Mu:      50,                          // server service rate
+	}
+	rates, err := g.EquilibriumRates(10) // difficulty ℓ = 10 hashes
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, r := range rates {
+		fmt.Printf("client %d: x* = %.1f req/s\n", i, r)
+	}
+	// Output:
+	// client 0: x* = 6.6 req/s
+	// client 1: x* = 14.1 req/s
+	// client 2: x* = 29.2 req/s
+}

@@ -1,0 +1,190 @@
+package game
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestEquilibriumExistsBelowRHat(t *testing.T) {
+	g := UniformGame(10, 1000, 100)
+	rhat, err := g.RHat()
+	if err != nil {
+		t.Fatalf("RHat: %v", err)
+	}
+	if _, err := g.EquilibriumYBar(rhat * 0.5); err != nil {
+		t.Errorf("EquilibriumYBar below r̂: %v", err)
+	}
+	if _, err := g.EquilibriumYBar(rhat * 1.01); !errors.Is(err, ErrNoEquilibrium) {
+		t.Errorf("EquilibriumYBar above r̂ error = %v, want ErrNoEquilibrium", err)
+	}
+}
+
+func TestEquilibriumSolvesFixedPoint(t *testing.T) {
+	g := UniformGame(20, 5000, 200)
+	l := 100.0
+	ybar, err := g.EquilibriumYBar(l)
+	if err != nil {
+		t.Fatalf("EquilibriumYBar: %v", err)
+	}
+	if res := g.lTilde(ybar, l); math.Abs(res) > 1e-6 {
+		t.Errorf("L̃(ȳ*) = %v, want ≈ 0", res)
+	}
+	n := float64(g.N())
+	if ybar <= n || ybar >= n+g.Mu {
+		t.Errorf("ȳ* = %v outside (N, N+µ)", ybar)
+	}
+}
+
+func TestHarderPuzzlesLowerRates(t *testing.T) {
+	g := UniformGame(10, 10000, 100)
+	lo, err := g.TotalRate(10)
+	if err != nil {
+		t.Fatalf("TotalRate(10): %v", err)
+	}
+	hi, err := g.TotalRate(500)
+	if err != nil {
+		t.Fatalf("TotalRate(500): %v", err)
+	}
+	if hi >= lo {
+		t.Errorf("rate at ℓ=500 (%v) not below rate at ℓ=10 (%v)", hi, lo)
+	}
+}
+
+func TestEquilibriumRatesProportionalToValuations(t *testing.T) {
+	g := FiniteGame{Weights: []float64{1000, 2000, 4000}, Mu: 50}
+	rates, err := g.EquilibriumRates(10)
+	if err != nil {
+		t.Fatalf("EquilibriumRates: %v", err)
+	}
+	if len(rates) != 3 {
+		t.Fatalf("len(rates) = %d", len(rates))
+	}
+	// y_i = w_i·ȳ/w̄ ⇒ (1+x_i) proportional to w_i.
+	r01 := (1 + rates[1]) / (1 + rates[0])
+	r12 := (1 + rates[2]) / (1 + rates[1])
+	if math.Abs(r01-2) > 1e-6 || math.Abs(r12-2) > 1e-6 {
+		t.Errorf("rate ratios = %v, %v; want 2, 2", r01, r12)
+	}
+}
+
+func TestLowValuationClientsDropOut(t *testing.T) {
+	// One client values the service a thousand times less; at a difficulty
+	// priced for the big spender it must be clamped to zero.
+	g := FiniteGame{Weights: []float64{10, 10000}, Mu: 50}
+	rates, err := g.EquilibriumRates(1000)
+	if err != nil {
+		t.Fatalf("EquilibriumRates: %v", err)
+	}
+	if rates[0] != 0 {
+		t.Errorf("poor client rate = %v, want 0", rates[0])
+	}
+	if rates[1] <= 0 {
+		t.Errorf("rich client rate = %v, want > 0", rates[1])
+	}
+}
+
+func TestOptimalDifficultyIsInterior(t *testing.T) {
+	g := UniformGame(50, 5000, 500)
+	l, err := g.OptimalDifficulty()
+	if err != nil {
+		t.Fatalf("OptimalDifficulty: %v", err)
+	}
+	rhat, err := g.RHat()
+	if err != nil {
+		t.Fatalf("RHat: %v", err)
+	}
+	if l <= 0 || l >= rhat {
+		t.Errorf("ℓ* = %v outside (0, r̂=%v)", l, rhat)
+	}
+	// The optimum must beat its neighbours on the provider objective
+	// ℓ·x̄(ℓ).
+	payoff := func(l float64) float64 {
+		x, err := g.TotalRate(l)
+		if err != nil {
+			return math.Inf(-1)
+		}
+		return l * x
+	}
+	p := payoff(l)
+	if payoff(l*0.9) > p+1e-6 || payoff(l*1.1) > p+1e-6 {
+		t.Errorf("ℓ* = %v not a local maximum: %v vs %v / %v",
+			l, p, payoff(l*0.9), payoff(l*1.1))
+	}
+}
+
+// The asymptotic result (Eq. 18): as N grows with µ = α·N, the finite-N
+// optimal difficulty converges to w_av/(α+1).
+func TestFiniteGameConvergesToAsymptotic(t *testing.T) {
+	const (
+		wav   = 140630.0
+		alpha = 1.1
+	)
+	want, err := LStar(wav, alpha)
+	if err != nil {
+		t.Fatalf("LStar: %v", err)
+	}
+	prevErr := math.Inf(1)
+	for _, n := range []int{10, 100, 1000, 10000} {
+		g := UniformGame(n, wav, alpha*float64(n))
+		got, err := g.OptimalDifficulty()
+		if err != nil {
+			t.Fatalf("OptimalDifficulty(N=%d): %v", n, err)
+		}
+		relErr := math.Abs(got-want) / want
+		if relErr > prevErr*1.01 {
+			t.Errorf("N=%d relative error %v did not shrink from %v", n, relErr, prevErr)
+		}
+		prevErr = relErr
+	}
+	if prevErr > 0.01 {
+		t.Errorf("N=10000 relative error %v, want < 1%%", prevErr)
+	}
+}
+
+func TestBestResponseConsistentWithEquilibrium(t *testing.T) {
+	// At the Nash point, each client's best response to the others'
+	// equilibrium rates is (approximately) its own equilibrium rate.
+	g := UniformGame(5, 2000, 100)
+	l := 40.0
+	rates, err := g.EquilibriumRates(l)
+	if err != nil {
+		t.Fatalf("EquilibriumRates: %v", err)
+	}
+	var total float64
+	for _, r := range rates {
+		total += r
+	}
+	for i, r := range rates {
+		br := BestResponse(g.Weights[i], total-r, l, g.Mu)
+		if math.Abs(br-r) > 0.02*(1+r) {
+			t.Errorf("client %d best response %v vs equilibrium %v", i, br, r)
+		}
+	}
+}
+
+func TestServiceTime(t *testing.T) {
+	if got := ServiceTime(10, 5); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("ServiceTime(10, 5) = %v, want 0.2", got)
+	}
+	if got := ServiceTime(10, 10); !math.IsInf(got, 1) {
+		t.Errorf("ServiceTime at saturation = %v, want +Inf", got)
+	}
+	if got := ServiceTime(10, 12); !math.IsInf(got, 1) {
+		t.Errorf("ServiceTime beyond saturation = %v, want +Inf", got)
+	}
+}
+
+func TestValidateRejectsBadGames(t *testing.T) {
+	bad := []FiniteGame{
+		{Weights: nil, Mu: 10},
+		{Weights: []float64{1, -1}, Mu: 10},
+		{Weights: []float64{1}, Mu: 0},
+		{Weights: []float64{math.NaN()}, Mu: 10},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); !errors.Is(err, ErrInvalidModel) {
+			t.Errorf("game %d Validate error = %v, want ErrInvalidModel", i, err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package game
+
+import (
+	"math"
+
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// ServiceTime returns the expected M/M/1 sojourn time S(x̄) = 1/(µ − x̄)
+// (paper §4.1). It returns +Inf when the server is saturated (x̄ ≥ µ).
+func ServiceTime(mu, xbar float64) float64 {
+	if xbar >= mu {
+		return math.Inf(1)
+	}
+	return 1 / (mu - xbar)
+}
+
+// Utility evaluates a client's utility (Eq. 4):
+//
+//	u = w·log(1 + x) − ℓ·x − 1/(µ − x̄)
+//
+// where x is the client's own rate and xbar the total system rate
+// (including x).
+func Utility(w, x, xbar, l, mu float64) float64 {
+	return w*math.Log(1+x) - l*x - ServiceTime(mu, xbar)
+}
+
+// ProviderPayoff evaluates the provider's objective term for one client at
+// rate x (Eq. 5): (ℓ(p) − g(p) − d(p))·x.
+func ProviderPayoff(p puzzle.Params, x float64) float64 {
+	return (p.ExpectedSolveHashes() - p.GenerateHashes() - p.ExpectedVerifyHashes()) * x
+}
+
+// BestResponse returns a client's best-response rate to the other clients'
+// total rate xOthers under difficulty ℓ, found by maximising the strictly
+// concave utility over x ∈ [0, µ − xOthers) with golden-section search.
+// It returns 0 when participation is not profitable.
+func BestResponse(w, xOthers, l, mu float64) float64 {
+	if xOthers >= mu {
+		return 0
+	}
+	const phi = 1.618033988749894848
+	a, b := 0.0, mu-xOthers-1e-12*mu
+	if b <= a {
+		return 0
+	}
+	u := func(x float64) float64 { return Utility(w, x, xOthers+x, l, mu) }
+	c := b - (b-a)/phi
+	d := a + (b-a)/phi
+	for i := 0; i < 200 && b-a > 1e-12*mu; i++ {
+		if u(c) > u(d) {
+			b = d
+		} else {
+			a = c
+		}
+		c = b - (b-a)/phi
+		d = a + (b-a)/phi
+	}
+	x := (a + b) / 2
+	if u(x) < u(0) {
+		return 0
+	}
+	return x
+}

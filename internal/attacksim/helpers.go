@@ -1,0 +1,41 @@
+package attacksim
+
+import (
+	"math/rand"
+
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/tcpopt"
+)
+
+// Type aliases keep attacker.go readable without repeating long paths.
+type puzzleSolution = puzzle.Solution
+
+func puzzleSolve(ch puzzle.Challenge) (puzzle.Solution, puzzle.SolveStats, error) {
+	return puzzle.Solve(ch)
+}
+
+func puzzleSampleHashes(rnd *rand.Rand, blk tcpopt.ChallengeBlock) uint64 {
+	return puzzle.SampleSolveHashes(rnd, blk.Challenge.Params)
+}
+
+// puzzleParamsGuess is the difficulty a solution flooder fabricates blocks
+// for. A real attacker reads it from an observed challenge; the guess
+// matters only for block sizing, and the paper's default is used.
+func puzzleParamsGuess() puzzle.Params {
+	return puzzle.Params{K: 2, M: 17, L: 32}
+}
+
+// fabricateSolution fills a solution with random bytes.
+func fabricateSolution(rnd *rand.Rand, p puzzle.Params) puzzle.Solution {
+	sol := puzzle.Solution{
+		Params:    p,
+		Timestamp: uint32(rnd.Int63()),
+		Solutions: make([][]byte, p.K),
+	}
+	for i := range sol.Solutions {
+		b := make([]byte, p.SolutionBytes())
+		rnd.Read(b)
+		sol.Solutions[i] = b
+	}
+	return sol
+}

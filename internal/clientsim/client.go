@@ -1,0 +1,430 @@
+// Package clientsim models benign clients: Poisson request generators that
+// perform TCP handshakes against the simulated server, solve puzzle
+// challenges on a modelled CPU (patched kernel) or ignore them (unpatched),
+// retransmit SYNs, issue "gettext/size" requests, and measure connection
+// times and throughput.
+package clientsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
+	"github.com/tcppuzzles/tcppuzzles/internal/netsim"
+	"github.com/tcppuzzles/tcppuzzles/internal/pzengine"
+	"github.com/tcppuzzles/tcppuzzles/internal/stats"
+	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/tcpopt"
+)
+
+// Config describes one client host.
+type Config struct {
+	// Addr is the client address.
+	Addr [4]byte
+	// ServerAddr and ServerPort locate the server.
+	ServerAddr [4]byte
+	ServerPort uint16
+
+	// Rate is the Poisson request rate in requests/second; zero disables
+	// the generator (connections are opened manually with Connect).
+	Rate float64
+	// StartAt and StopAt bound the arrival process.
+	StartAt, StopAt time.Duration
+
+	// RequestBytes is the size argument of the gettext/size request.
+	RequestBytes int
+	// RequestPayloadLen is the on-wire size of the request itself.
+	RequestPayloadLen int
+
+	// Solves selects the patched kernel that solves puzzle challenges.
+	Solves bool
+	// SimulatedCrypto derives canonical simulated solution bits instead of
+	// brute forcing on the host; the hash cost charged to the modelled CPU
+	// is identical. Pair with the server's SimulatedCrypto.
+	SimulatedCrypto bool
+	// Device models the client CPU.
+	Device cpumodel.Device
+	// MaxSolveBacklog abandons a connection attempt when the CPU is
+	// already committed further than this into the future — the point at
+	// which a rational client drops out rather than queue more work.
+	MaxSolveBacklog time.Duration
+
+	// RTOs is the SYN retransmission schedule; the attempt fails after the
+	// last timeout fires.
+	RTOs []time.Duration
+	// ResponseTimeout fails an established connection with no (complete)
+	// response — how deceived clients discover they were never served.
+	ResponseTimeout time.Duration
+
+	// Seed drives the client's deterministic randomness.
+	Seed int64
+	// MetricBucket is the metric bucket width.
+	MetricBucket time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.ServerPort == 0 {
+		c.ServerPort = 80
+	}
+	if c.RequestBytes == 0 {
+		c.RequestBytes = 100_000
+	}
+	if c.RequestPayloadLen == 0 {
+		c.RequestPayloadLen = 200
+	}
+	if c.Device.HashRate == 0 {
+		c.Device = cpumodel.CPU1
+	}
+	if c.MaxSolveBacklog == 0 {
+		c.MaxSolveBacklog = 3 * time.Second
+	}
+	if len(c.RTOs) == 0 {
+		c.RTOs = []time.Duration{time.Second, 3 * time.Second, 7 * time.Second}
+	}
+	if c.ResponseTimeout == 0 {
+		c.ResponseTimeout = 10 * time.Second
+	}
+	if c.MetricBucket == 0 {
+		c.MetricBucket = time.Second
+	}
+	if c.StopAt == 0 {
+		c.StopAt = 1<<62 - 1
+	}
+}
+
+// connState tracks one connection attempt.
+type connState int
+
+const (
+	stateSynSent connState = iota + 1
+	stateSolving
+	stateEstablished
+	stateDone
+)
+
+type cconn struct {
+	port      uint16
+	isn       uint32
+	state     connState
+	startedAt time.Duration
+	rtoEv     *netsim.Event
+	respEv    *netsim.Event
+	rtoIdx    int
+	gotBytes  int
+	wantBytes int
+	solved    bool
+}
+
+// Metrics collects client-side measurements.
+type Metrics struct {
+	// BytesIn feeds the client throughput plots.
+	BytesIn *stats.Series
+	// ConnTimes are handshake completion times in seconds (Fig. 6), with
+	// the simulation times at which they completed for windowing.
+	ConnTimes   []float64
+	ConnTimesAt []time.Duration
+	// Attempts/Successes/Failures per bucket drive the Fig. 15
+	// %-established series.
+	Attempts  *stats.Series
+	Successes *stats.Series
+	Failures  *stats.Series
+
+	Started       uint64
+	Established   uint64
+	Completed     uint64
+	Failed        uint64
+	SolvesStarted uint64
+	SolvesAborted uint64
+	// SkippedBusy counts arrivals deferred because the kernel was still
+	// solving earlier challenges (blocking connect).
+	SkippedBusy  uint64
+	RSTsReceived uint64
+	RetriesSYN   uint64
+}
+
+// Client is a simulated benign host.
+type Client struct {
+	cfg Config
+	eng *netsim.Engine
+	net *netsim.Network
+	rnd *rand.Rand
+
+	isns     *tcpkit.ISNSource
+	cpu      *cpumodel.CPU
+	nextPort uint32
+	conns    map[uint16]*cconn
+
+	metrics *Metrics
+}
+
+// New builds a client and attaches it to the network.
+func New(eng *netsim.Engine, network *netsim.Network, link netsim.LinkConfig, cfg Config) (*Client, error) {
+	cfg.fillDefaults()
+	c := &Client{
+		cfg:      cfg,
+		eng:      eng,
+		net:      network,
+		rnd:      rand.New(rand.NewSource(cfg.Seed)),
+		isns:     tcpkit.NewISNSource(cfg.Seed + 7),
+		cpu:      cpumodel.NewCPU(cfg.Device, cfg.MetricBucket),
+		nextPort: 10000,
+		conns:    make(map[uint16]*cconn),
+		metrics: &Metrics{
+			BytesIn:   stats.NewSeries(cfg.MetricBucket),
+			Attempts:  stats.NewSeries(cfg.MetricBucket),
+			Successes: stats.NewSeries(cfg.MetricBucket),
+			Failures:  stats.NewSeries(cfg.MetricBucket),
+		},
+	}
+	if err := network.Attach(c, link); err != nil {
+		return nil, fmt.Errorf("clientsim: %w", err)
+	}
+	if cfg.Rate > 0 {
+		c.eng.ScheduleAt(cfg.StartAt, c.arrival)
+	}
+	return c, nil
+}
+
+// Addr implements netsim.Node.
+func (c *Client) Addr() netsim.Addr { return c.cfg.Addr }
+
+// Metrics exposes the measurement state.
+func (c *Client) Metrics() *Metrics { return c.metrics }
+
+// CPU exposes the CPU model (Fig. 9 utilisation).
+func (c *Client) CPU() *cpumodel.CPU { return c.cpu }
+
+// arrival fires one Poisson arrival and schedules the next. While the
+// patched kernel is busy solving, new requests wait rather than launch —
+// the blocking-connect semantics of the kernel implementation (the app's
+// connect() calls self-throttle to the solve rate).
+func (c *Client) arrival() {
+	if c.eng.Now() >= c.cfg.StopAt {
+		return
+	}
+	if c.cfg.Solves && c.cpu.Backlog(c.eng.Now()) > c.cfg.MaxSolveBacklog {
+		c.metrics.SkippedBusy++
+	} else {
+		c.Connect()
+	}
+	delay := time.Duration(c.rnd.ExpFloat64() / c.cfg.Rate * float64(time.Second))
+	c.eng.Schedule(delay, c.arrival)
+}
+
+// Connect opens one connection attempt.
+func (c *Client) Connect() {
+	port := uint16(1024 + c.nextPort%60000)
+	c.nextPort++
+	if _, busy := c.conns[port]; busy {
+		// Extremely long-lived attempt still holds the port; skip.
+		c.metrics.Failed++
+		return
+	}
+	cc := &cconn{
+		port:      port,
+		isn:       c.isns.Next(),
+		state:     stateSynSent,
+		startedAt: c.eng.Now(),
+		wantBytes: c.cfg.RequestBytes,
+	}
+	c.conns[port] = cc
+	c.metrics.Started++
+	c.metrics.Attempts.Add(c.eng.Now(), 1)
+	c.sendSYN(cc)
+	c.armRTO(cc)
+}
+
+func (c *Client) sendSYN(cc *cconn) {
+	opts, err := tcpopt.MarshalOptions([]tcpopt.Option{
+		tcpopt.MSSOption(1460),
+		tcpopt.WScaleOption(7),
+	})
+	if err != nil {
+		opts = nil
+	}
+	c.net.Send(tcpkit.Segment{
+		Src: c.cfg.Addr, Dst: c.cfg.ServerAddr,
+		SrcPort: cc.port, DstPort: c.cfg.ServerPort,
+		Seq: cc.isn, Flags: tcpkit.FlagSYN, Window: 65535,
+		Options: opts,
+	})
+}
+
+func (c *Client) armRTO(cc *cconn) {
+	if cc.rtoIdx >= len(c.cfg.RTOs) {
+		c.fail(cc)
+		return
+	}
+	timeout := c.cfg.RTOs[cc.rtoIdx]
+	cc.rtoEv = c.eng.Schedule(timeout, func() {
+		if cc.state != stateSynSent {
+			return
+		}
+		cc.rtoIdx++
+		if cc.rtoIdx >= len(c.cfg.RTOs) {
+			c.fail(cc)
+			return
+		}
+		c.metrics.RetriesSYN++
+		c.sendSYN(cc)
+		c.armRTO(cc)
+	})
+}
+
+// Handle implements netsim.Node.
+func (c *Client) Handle(seg tcpkit.Segment) {
+	if seg.Src != c.cfg.ServerAddr || seg.SrcPort != c.cfg.ServerPort {
+		return
+	}
+	cc, ok := c.conns[seg.DstPort]
+	if !ok {
+		return
+	}
+	switch {
+	case seg.Flags.Has(tcpkit.FlagSYN | tcpkit.FlagACK):
+		c.onSynAck(cc, seg)
+	case seg.Flags.Has(tcpkit.FlagRST):
+		c.metrics.RSTsReceived++
+		c.fail(cc)
+	case seg.Flags.Has(tcpkit.FlagACK) && seg.PayloadLen > 0:
+		c.onData(cc, seg)
+	}
+}
+
+func (c *Client) onSynAck(cc *cconn, seg tcpkit.Segment) {
+	if cc.state != stateSynSent {
+		return // duplicate
+	}
+	if cc.rtoEv != nil {
+		cc.rtoEv.Cancel()
+		cc.rtoEv = nil
+	}
+	serverISN := seg.Seq
+	opts, err := tcpopt.ParseOptions(seg.Options)
+	if err != nil {
+		opts = nil
+	}
+	chOpt, challenged := tcpopt.FindOption(opts, tcpopt.KindChallenge)
+	if challenged && c.cfg.Solves {
+		blk, err := tcpopt.ParseChallenge(chOpt)
+		if err != nil {
+			c.fail(cc)
+			return
+		}
+		if c.cpu.Backlog(c.eng.Now()) > c.cfg.MaxSolveBacklog {
+			c.metrics.SolvesAborted++
+			c.fail(cc)
+			return
+		}
+		cc.state = stateSolving
+		c.metrics.SolvesStarted++
+		hashes := puzzle.SampleSolveHashes(c.rnd, blk.Challenge.Params)
+		done := c.cpu.Charge(c.eng.Now(), float64(hashes))
+		c.eng.ScheduleAt(done, func() {
+			if cc.state != stateSolving {
+				return
+			}
+			cc.solved = true
+			c.finishHandshake(cc, serverISN, &blk.Challenge)
+		})
+		return
+	}
+	// Plain SYN-ACK, or a challenge the unpatched client cannot read: ACK
+	// immediately. (Unpatched stacks ignore unknown options.)
+	c.finishHandshake(cc, serverISN, nil)
+}
+
+// finishHandshake sends the final ACK (with a solution block when ch is
+// non-nil), marks the connection established from the client's view, and
+// issues the application request.
+func (c *Client) finishHandshake(cc *cconn, serverISN uint32, ch *puzzle.Challenge) {
+	var opts []byte
+	if ch != nil {
+		sol := c.solutionFor(*ch)
+		blk := tcpopt.SolutionBlock{MSS: 1460, WScale: 7, HasTimestamp: true, Solution: sol}
+		if opt, err := tcpopt.EncodeSolution(blk); err == nil {
+			if marshalled, err := tcpopt.MarshalOptions([]tcpopt.Option{opt}); err == nil {
+				opts = marshalled
+			}
+		}
+	}
+	now := c.eng.Now()
+	c.net.Send(tcpkit.Segment{
+		Src: c.cfg.Addr, Dst: c.cfg.ServerAddr,
+		SrcPort: cc.port, DstPort: c.cfg.ServerPort,
+		Seq: cc.isn + 1, Ack: serverISN + 1,
+		Flags: tcpkit.FlagACK, Window: 65535,
+		Options: opts,
+	})
+	cc.state = stateEstablished
+	c.metrics.Established++
+	c.metrics.ConnTimes = append(c.metrics.ConnTimes, (now - cc.startedAt).Seconds())
+	c.metrics.ConnTimesAt = append(c.metrics.ConnTimesAt, now)
+	// Issue the gettext/size request.
+	c.net.Send(tcpkit.Segment{
+		Src: c.cfg.Addr, Dst: c.cfg.ServerAddr,
+		SrcPort: cc.port, DstPort: c.cfg.ServerPort,
+		Seq: cc.isn + 1, Ack: serverISN + 1,
+		Flags:      tcpkit.FlagACK | tcpkit.FlagPSH,
+		PayloadLen: c.cfg.RequestPayloadLen,
+		Meta:       cc.wantBytes,
+	})
+	cc.respEv = c.eng.Schedule(c.cfg.ResponseTimeout, func() {
+		if cc.state == stateEstablished {
+			c.fail(cc)
+		}
+	})
+}
+
+// solutionFor produces the wire solution for a challenge. The hash *count*
+// was already charged to the CPU model; under SimulatedCrypto the bits are
+// derived canonically from the preimage (see internal/pzengine) instead of
+// brute forced, and the paired server engine accepts them. With real crypto
+// the genuine search runs on the host — use small difficulties.
+func (c *Client) solutionFor(ch puzzle.Challenge) puzzle.Solution {
+	if c.cfg.SimulatedCrypto {
+		return pzengine.SimSolution(ch)
+	}
+	sol, _, err := puzzle.Solve(ch)
+	if err != nil {
+		// Unsolvable parameters; return an empty (invalid) solution so the
+		// server rejects it rather than wedging the client.
+		return puzzle.Solution{Params: ch.Params, Timestamp: ch.Timestamp}
+	}
+	return sol
+}
+
+func (c *Client) onData(cc *cconn, seg tcpkit.Segment) {
+	if cc.state != stateEstablished {
+		return
+	}
+	cc.gotBytes += seg.PayloadLen
+	c.metrics.BytesIn.Add(c.eng.Now(), float64(seg.WireSize()))
+	if cc.gotBytes >= cc.wantBytes {
+		cc.state = stateDone
+		if cc.respEv != nil {
+			cc.respEv.Cancel()
+		}
+		c.metrics.Completed++
+		c.metrics.Successes.Add(c.eng.Now(), 1)
+		delete(c.conns, cc.port)
+	}
+}
+
+func (c *Client) fail(cc *cconn) {
+	if cc.state == stateDone {
+		return
+	}
+	cc.state = stateDone
+	if cc.rtoEv != nil {
+		cc.rtoEv.Cancel()
+	}
+	if cc.respEv != nil {
+		cc.respEv.Cancel()
+	}
+	c.metrics.Failed++
+	c.metrics.Failures.Add(c.eng.Now(), 1)
+	delete(c.conns, cc.port)
+}

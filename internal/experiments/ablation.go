@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
+	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// AblationOpportunisticResult contrasts the §5 opportunistic challenge
+// controller against always-on challenges during a connection flood.
+type AblationOpportunisticResult struct {
+	Opportunistic *FloodRun
+	AlwaysOn      *FloodRun
+}
+
+// AblationOpportunistic runs the design-choice ablation: the opportunistic
+// controller lets clients connect instantly whenever queue slots exist (the
+// Fig. 8 throughput spikes), while always-on challenges tax every
+// connection even in peacetime.
+func AblationOpportunistic(scale FloodScale) (*AblationOpportunisticResult, error) {
+	base := FloodConfig{
+		Protection:   serversim.ProtectionPuzzles,
+		Params:       puzzle.Params{K: 2, M: 17, L: 32},
+		AttackKind:   attacksim.ConnFlood,
+		ClientsSolve: true,
+		BotsSolve:    true,
+	}
+	opp := base
+	opp.Label = "opportunistic"
+	oppRun, err := RunFlood(scale.apply(opp))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation opportunistic: %w", err)
+	}
+	always := base
+	always.Label = "always-on"
+	always.AlwaysChallenge = true
+	alwaysRun, err := RunFlood(scale.apply(always))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation always-on: %w", err)
+	}
+	return &AblationOpportunisticResult{Opportunistic: oppRun, AlwaysOn: alwaysRun}, nil
+}
+
+// Table contrasts peacetime and wartime client throughput.
+func (r *AblationOpportunisticResult) Table() Table {
+	t := Table{
+		Title:  "Ablation — opportunistic vs always-on challenges",
+		Header: []string{"controller", "cli-before", "cli-during", "cli-after"},
+	}
+	for _, d := range []struct {
+		label string
+		run   *FloodRun
+	}{{"opportunistic", r.Opportunistic}, {"always-on", r.AlwaysOn}} {
+		cli := d.run.ClientThroughputMbps()
+		t.Rows = append(t.Rows, []string{
+			d.label,
+			f2(phaseMean(d.run, cli, phaseBefore)),
+			f2(phaseMean(d.run, cli, phaseDuring)),
+			f2(phaseMean(d.run, cli, phaseAfter)),
+		})
+	}
+	return t
+}
+
+// AblationSolutionFloodResult measures the §7 "solution floods" concern:
+// server CPU under a barrage of bogus solutions.
+type AblationSolutionFloodResult struct {
+	Run *FloodRun
+}
+
+// AblationSolutionFlood floods the server with fabricated solutions and
+// reports the induced verification load.
+func AblationSolutionFlood(scale FloodScale) (*AblationSolutionFloodResult, error) {
+	run, err := RunFlood(scale.apply(FloodConfig{
+		Label:        "solution-flood",
+		Protection:   serversim.ProtectionPuzzles,
+		Params:       puzzle.Params{K: 2, M: 17, L: 32},
+		AttackKind:   attacksim.SolutionFlood,
+		ClientsSolve: true,
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablation solution flood: %w", err)
+	}
+	return &AblationSolutionFloodResult{Run: run}, nil
+}
+
+// Table reports server CPU and rejection counters.
+func (r *AblationSolutionFloodResult) Table() Table {
+	cpu := r.Run.ServerCPU()
+	var peak float64
+	for _, v := range cpu {
+		if v > peak {
+			peak = v
+		}
+	}
+	m := r.Run.Server.Metrics()
+	return Table{
+		Title:  "Ablation — solution flood (bogus-verification load, §7)",
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"server CPU during (%)", f2(phaseMean(r.Run, cpu, phaseDuring))},
+			{"server CPU peak (%)", f2(peak)},
+			{"solutions rejected", fmt.Sprintf("%d", m.SolutionInvalid+m.SolutionMalformed)},
+			{"client Mbps during", f2(phaseMean(r.Run, r.Run.ClientThroughputMbps(), phaseDuring))},
+		},
+	}
+}

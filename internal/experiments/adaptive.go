@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
+	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// AblationAdaptiveResult contrasts a fixed difficulty against the §7
+// closed-loop controller when the attack is stronger than the difficulty
+// was provisioned for.
+type AblationAdaptiveResult struct {
+	Fixed    *FloodRun
+	Adaptive *FloodRun
+	// MTrace is the adaptive run's difficulty over time (per bucket).
+	MTrace []float64
+}
+
+// AblationAdaptive starts both servers at an under-provisioned difficulty
+// (m = 12, which §6.3 shows is too easy to throttle attackers) and sends a
+// connection flood of smart solving bots that keep their solutions fresh.
+// The adaptive server must climb towards an effective difficulty and decay
+// back after the attack.
+func AblationAdaptive(scale FloodScale) (*AblationAdaptiveResult, error) {
+	base := FloodConfig{
+		Protection:   serversim.ProtectionPuzzles,
+		Params:       puzzle.Params{K: 2, M: 12, L: 32},
+		AttackKind:   attacksim.ConnFlood,
+		ClientsSolve: true,
+		BotsSolve:    true,
+		// Smart bots bound their backlog so solutions stay fresh — the
+		// attacker model under which an under-provisioned fixed
+		// difficulty actually loses (see Fig. 12).
+		BotMaxSolveBacklog: 2 * time.Second,
+	}
+	fixed := base
+	fixed.Label = "fixed-m12"
+	fixedRun, err := RunFlood(scale.apply(fixed))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: adaptive ablation fixed: %w", err)
+	}
+	adaptive := base
+	adaptive.Label = "adaptive"
+	adaptive.AdaptiveDifficulty = true
+	adaptiveRun, err := RunFlood(scale.apply(adaptive))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: adaptive ablation adaptive: %w", err)
+	}
+	res := &AblationAdaptiveResult{Fixed: fixedRun, Adaptive: adaptiveRun}
+	res.MTrace = adaptiveRun.Server.Metrics().DifficultyM.Sampled(
+		adaptiveRun.Cfg.Bucket, adaptiveRun.Cfg.Duration)
+	// Before the first adjustment the gauge reads zero; backfill with the
+	// baseline for a readable trace.
+	for i, v := range res.MTrace {
+		if v == 0 {
+			res.MTrace[i] = float64(adaptive.Params.M)
+		}
+	}
+	return res, nil
+}
+
+// PeakM returns the highest difficulty the controller reached.
+func (r *AblationAdaptiveResult) PeakM() float64 {
+	var peak float64
+	for _, v := range r.MTrace {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// FinalM returns the difficulty at the end of the run.
+func (r *AblationAdaptiveResult) FinalM() float64 {
+	if len(r.MTrace) == 0 {
+		return 0
+	}
+	return r.MTrace[len(r.MTrace)-1]
+}
+
+// Table renders the comparison.
+func (r *AblationAdaptiveResult) Table() Table {
+	t := Table{
+		Title:  "Ablation — adaptive difficulty (closed loop, §7)",
+		Header: []string{"server", "att-cps-during", "cli-Mbps-during", "m-trace"},
+	}
+	for _, d := range []struct {
+		label string
+		run   *FloodRun
+	}{{"fixed-m12", r.Fixed}, {"adaptive", r.Adaptive}} {
+		trace := ""
+		if d.label == "adaptive" {
+			trace = sparkline(downsample(r.MTrace, 40))
+		}
+		t.Rows = append(t.Rows, []string{
+			d.label,
+			f2(phaseMean(d.run, d.run.AttackerEstablishedRate(), phaseDuring)),
+			f2(phaseMean(d.run, d.run.ClientThroughputMbps(), phaseDuring)),
+			trace,
+		})
+	}
+	t.Rows = append(t.Rows, []string{"peak m", f1(r.PeakM()), "final m", f1(r.FinalM())})
+	return t
+}

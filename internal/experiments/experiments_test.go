@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// tinyScale keeps unit tests fast while preserving the attack structure.
+func tinyScale() FloodScale {
+	return FloodScale{
+		Duration: 60 * time.Second, AttackStart: 15 * time.Second, AttackStop: 45 * time.Second,
+		NumClients: 4, ClientRate: 8, BotCount: 4, PerBotRate: 80,
+		Backlog: 128, AcceptBacklog: 128, Workers: 48, Seed: 42,
+	}
+}
+
+func TestFig3aProfiles(t *testing.T) {
+	res, err := Fig3a()
+	if err != nil {
+		t.Fatalf("Fig3a: %v", err)
+	}
+	if len(res.Curves) != 3 {
+		t.Fatalf("curves = %d, want 3", len(res.Curves))
+	}
+	if math.Abs(res.Wav-140630)/140630 > 0.01 {
+		t.Errorf("w_av = %v, want ≈ 140630", res.Wav)
+	}
+	if got := res.Table(); len(got.Rows) == 0 {
+		t.Error("empty table")
+	}
+}
+
+func TestFig3bAlphaConverges(t *testing.T) {
+	res, err := Fig3b()
+	if err != nil {
+		t.Fatalf("Fig3b: %v", err)
+	}
+	if math.Abs(res.Alpha-1.1) > 0.02 {
+		t.Errorf("α = %v, want ≈ 1.1", res.Alpha)
+	}
+	// Service rate must ramp and plateau at µ ≈ 1100.
+	last := res.Points[len(res.Points)-1]
+	if math.Abs(last.ServiceRate-1100) > 1 {
+		t.Errorf("plateau = %v, want 1100", last.ServiceRate)
+	}
+}
+
+func TestFig6ShapeExponentialInMLinearInK(t *testing.T) {
+	res, err := Fig6(Fig6Config{
+		Ks:          []uint8{1, 2},
+		Ms:          []uint8{4, 10, 16},
+		Connections: 60,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	m4, _ := res.MeanFor(1, 4)
+	m10, _ := res.MeanFor(1, 10)
+	m16, _ := res.MeanFor(1, 16)
+	if !(m4 < m10 && m10 < m16) {
+		t.Errorf("means not increasing in m: %v, %v, %v", m4, m10, m16)
+	}
+	// Exponential in m: 6 extra bits ⇒ ~64× more work; allow slack for
+	// RTT floor at small m.
+	if m16 < 8*m10 {
+		t.Errorf("m=16 mean %v not ≫ m=10 mean %v", m16, m10)
+	}
+	// Linear in k: doubling k roughly doubles the solve-dominated time.
+	k1, _ := res.MeanFor(1, 16)
+	k2, _ := res.MeanFor(2, 16)
+	ratio := k2 / k1
+	if ratio < 1.4 || ratio > 3 {
+		t.Errorf("k=2/k=1 ratio at m=16 = %v, want ≈ 2", ratio)
+	}
+}
+
+func TestFig7SYNFloodOutcomes(t *testing.T) {
+	res, err := Fig7(tinyScale())
+	if err != nil {
+		t.Fatalf("Fig7: %v", err)
+	}
+	noDef, _ := res.RunFor("nodefense")
+	cookies, _ := res.RunFor("cookies")
+	puzzles8, _ := res.RunFor("challenges-m8")
+
+	noDefCli := noDef.ClientThroughputMbps()
+	before := phaseMean(noDef, noDefCli, phaseBefore)
+	during := phaseMean(noDef, noDefCli, phaseDuring)
+	if before <= 0 {
+		t.Fatalf("nodefense before = %v, want > 0", before)
+	}
+	// Without defense the SYN flood must crater client throughput.
+	if during > 0.2*before {
+		t.Errorf("nodefense during = %v vs before %v: flood ineffective", during, before)
+	}
+	// Cookies neutralise a SYN flood.
+	ckCli := cookies.ClientThroughputMbps()
+	ckBefore := phaseMean(cookies, ckCli, phaseBefore)
+	ckDuring := phaseMean(cookies, ckCli, phaseDuring)
+	if ckDuring < 0.7*ckBefore {
+		t.Errorf("cookies during = %v vs before %v: should be unaffected", ckDuring, ckBefore)
+	}
+	// Easy puzzles also neutralise it.
+	p8Cli := puzzles8.ClientThroughputMbps()
+	p8Before := phaseMean(puzzles8, p8Cli, phaseBefore)
+	p8During := phaseMean(puzzles8, p8Cli, phaseDuring)
+	if p8During < 0.6*p8Before {
+		t.Errorf("puzzles-m8 during = %v vs before %v", p8During, p8Before)
+	}
+}
+
+func TestFig8ConnFloodOutcomes(t *testing.T) {
+	res, err := Fig8(tinyScale())
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	noDef, _ := res.RunFor("nodefense")
+	cookies, _ := res.RunFor("cookies")
+	puzzles, _ := res.RunFor("challenges-m17")
+
+	for _, d := range []struct {
+		label string
+		run   *FloodRun
+	}{{"nodefense", noDef}, {"cookies", cookies}} {
+		cli := d.run.ClientThroughputMbps()
+		before := phaseMean(d.run, cli, phaseBefore)
+		during := phaseMean(d.run, cli, phaseDuring)
+		if during > 0.3*before {
+			t.Errorf("%s during = %v vs before %v: connection flood should deny service",
+				d.label, during, before)
+		}
+	}
+	pzCli := puzzles.ClientThroughputMbps()
+	pzBefore := phaseMean(puzzles, pzCli, phaseBefore)
+	pzDuring := phaseMean(puzzles, pzCli, phaseDuring)
+	if pzDuring < 0.15*pzBefore {
+		t.Errorf("puzzles during = %v vs before %v: puzzles should preserve service",
+			pzDuring, pzBefore)
+	}
+	// Puzzles must beat cookies during the attack.
+	ckDuring := phaseMean(cookies, cookies.ClientThroughputMbps(), phaseDuring)
+	if pzDuring <= ckDuring {
+		t.Errorf("puzzles during (%v) not better than cookies (%v)", pzDuring, ckDuring)
+	}
+}
+
+func TestFig9CPUProfile(t *testing.T) {
+	res, err := Fig9(tinyScale())
+	if err != nil {
+		t.Fatalf("Fig9: %v", err)
+	}
+	srvDuring := phaseMean(res.Run, res.Run.ServerCPU(), phaseDuring)
+	if srvDuring > 5 {
+		t.Errorf("server CPU during attack = %v%%, want < 5%% (§6.2)", srvDuring)
+	}
+	attDuring := phaseMean(res.Run, res.Run.AttackerCPU(), phaseDuring)
+	attBefore := phaseMean(res.Run, res.Run.AttackerCPU(), phaseBefore)
+	if attDuring < 60 {
+		t.Errorf("attacker CPU during = %v%%, want a solving spike", attDuring)
+	}
+	if attBefore > 1 {
+		t.Errorf("attacker CPU before = %v%%, want ≈ 0", attBefore)
+	}
+	cliBefore := phaseMean(res.Run, res.Run.ClientCPU(), phaseBefore)
+	cliDuring := phaseMean(res.Run, res.Run.ClientCPU(), phaseDuring)
+	if cliDuring <= 0 {
+		t.Error("client CPU during attack = 0, want solving load")
+	}
+	if cliBefore > 1 {
+		t.Errorf("client CPU before attack = %v%%, want ≈ 0 (no challenges)", cliBefore)
+	}
+	// See EXPERIMENTS.md: our latch challenges every client request during
+	// the attack, so modelled client CPU saturates its solve budget rather
+	// than staying near the paper's 10%; the qualitative ordering
+	// (baseline ≈ 0, solving load during attack) is preserved.
+}
+
+func TestFig10QueueBehaviour(t *testing.T) {
+	res, err := Fig10(tinyScale())
+	if err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
+	_, ckAccept := res.Cookies.QueueSizes()
+	_, pzAccept := res.Puzzles.QueueSizes()
+	ckDuring := phaseMean(res.Cookies, ckAccept, phaseDuring)
+	pzDuring := phaseMean(res.Puzzles, pzAccept, phaseDuring)
+	// With cookies the accept queue saturates; with puzzles it drains once
+	// protection engages. At this reduced scale the drain occupies part of
+	// the window, so assert a clear separation; the paper-scale run in
+	// EXPERIMENTS.md shows the near-empty queue of Fig. 10.
+	if pzDuring > 0.6*ckDuring {
+		t.Errorf("accept queue cookies=%v puzzles=%v: puzzles should keep it lower",
+			ckDuring, pzDuring)
+	}
+}
+
+func TestFig11RateLimiting(t *testing.T) {
+	res, err := Fig11(tinyScale())
+	if err != nil {
+		t.Fatalf("Fig11: %v", err)
+	}
+	// At this reduced scale the pre-engagement burst dominates the 30 s
+	// attack window, compressing the factor; the paper-scale run (360 s
+	// attack, EXPERIMENTS.md) recovers the order-of-magnitude reduction
+	// (paper: 37×).
+	factor := res.ReductionFactor()
+	if factor < 3 {
+		t.Errorf("reduction factor = %v, want ≫ 1 (paper: 37×)", factor)
+	}
+}
+
+func TestFig12NashStability(t *testing.T) {
+	res, err := Fig12(Fig12Config{
+		Ks:    []uint8{2},
+		Ms:    []uint8{12, 17},
+		Scale: tinyScale(),
+	})
+	if err != nil {
+		t.Fatalf("Fig12: %v", err)
+	}
+	easy, ok := res.CellFor(2, 12)
+	if !ok {
+		t.Fatal("missing cell (2,12)")
+	}
+	nash, ok := res.CellFor(2, 17)
+	if !ok {
+		t.Fatal("missing cell (2,17)")
+	}
+	// m=12 is too easy to throttle the attackers (§6.3): the Nash cell
+	// must deliver higher client throughput.
+	if nash.Box.Mean <= easy.Box.Mean {
+		t.Errorf("nash mean %v ≤ easy mean %v", nash.Box.Mean, easy.Box.Mean)
+	}
+}
+
+func TestFig13RateIncreaseDoesNotHelp(t *testing.T) {
+	res, err := Fig13(tinyScale(), []float64{50, 200})
+	if err != nil {
+		t.Fatalf("Fig13: %v", err)
+	}
+	lo, hi := res.Points[0], res.Points[1]
+	if hi.MeasuredAttackRate <= lo.MeasuredAttackRate {
+		t.Errorf("measured rate did not increase: %v vs %v",
+			lo.MeasuredAttackRate, hi.MeasuredAttackRate)
+	}
+	// Quadrupling the rate must not quadruple completions (CPU-bound).
+	if hi.CompletionRate > 2*lo.CompletionRate+1 {
+		t.Errorf("completion rate scaled with attack rate: %v → %v",
+			lo.CompletionRate, hi.CompletionRate)
+	}
+}
+
+func TestFig14MoreBotsRaiseCompletions(t *testing.T) {
+	res, err := Fig14(tinyScale(), []int{2, 8}, 400)
+	if err != nil {
+		t.Fatalf("Fig14: %v", err)
+	}
+	small, big := res.Points[0], res.Points[1]
+	if big.CompletionRate <= small.CompletionRate {
+		t.Errorf("completions with 8 bots (%v) not above 2 bots (%v)",
+			big.CompletionRate, small.CompletionRate)
+	}
+	// Completions remain a small fraction of the measured rate.
+	if big.CompletionRate > 0.2*big.MeasuredAttackRate {
+		t.Errorf("completion rate %v too close to measured %v",
+			big.CompletionRate, big.MeasuredAttackRate)
+	}
+}
+
+func TestFig15AdoptionOutcomes(t *testing.T) {
+	res, err := Fig15(tinyScale())
+	if err != nil {
+		t.Fatalf("Fig15: %v", err)
+	}
+	nanc, _ := res.CellFor("(NA,NC)")
+	sanc, _ := res.CellFor("(SA,NC)")
+	nasc, _ := res.CellFor("(NA,SC)")
+	sasc, _ := res.CellFor("(SA,SC)")
+
+	// Solving clients are (almost) always served regardless of attacker.
+	if nasc.PctEstablished < 70 {
+		t.Errorf("(NA,SC) = %v%%, want high", nasc.PctEstablished)
+	}
+	if sasc.PctEstablished < 70 {
+		t.Errorf("(SA,SC) = %v%%, want high", sasc.PctEstablished)
+	}
+	// Non-solving clients fare worse than solving ones.
+	if nanc.PctEstablished > nasc.PctEstablished {
+		t.Errorf("(NA,NC)=%v%% above (NA,SC)=%v%%", nanc.PctEstablished, nasc.PctEstablished)
+	}
+	if sanc.PctEstablished > sasc.PctEstablished {
+		t.Errorf("(SA,NC)=%v%% above (SA,SC)=%v%%", sanc.PctEstablished, sasc.PctEstablished)
+	}
+}
+
+func TestTable1DerivedColumns(t *testing.T) {
+	res := Table1()
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Every Pi can still connect (solve in seconds)…
+		if row.NashSolveTime > 30*time.Second {
+			t.Errorf("%s solve time %v too slow to ever connect", row.Device.Name, row.NashSolveTime)
+		}
+		// …but cannot flood: well under one solved connection per second.
+		if row.MaxFloodRateCPS > 1 {
+			t.Errorf("%s flood rate %v cps, want < 1", row.Device.Name, row.MaxFloodRateCPS)
+		}
+	}
+}
+
+func TestNashExampleMatchesPaper(t *testing.T) {
+	res, err := NashExample()
+	if err != nil {
+		t.Fatalf("NashExample: %v", err)
+	}
+	if res.Params.K != 2 || res.Params.M != 17 {
+		t.Errorf("(k,m) = (%d,%d), want (2,17)", res.Params.K, res.Params.M)
+	}
+	if math.Abs(res.Alpha-1.1) > 0.02 {
+		t.Errorf("α = %v", res.Alpha)
+	}
+	// Finite-N optimum close to the asymptotic ℓ*.
+	if math.Abs(res.FiniteLStar-res.LStar)/res.LStar > 0.05 {
+		t.Errorf("finite ℓ* %v vs asymptotic %v", res.FiniteLStar, res.LStar)
+	}
+}
+
+func TestAblationOpportunistic(t *testing.T) {
+	res, err := AblationOpportunistic(tinyScale())
+	if err != nil {
+		t.Fatalf("AblationOpportunistic: %v", err)
+	}
+	oppBefore := phaseMean(res.Opportunistic,
+		res.Opportunistic.ClientThroughputMbps(), phaseBefore)
+	alwBefore := phaseMean(res.AlwaysOn, res.AlwaysOn.ClientThroughputMbps(), phaseBefore)
+	// Before the attack the opportunistic controller must not tax clients;
+	// always-on solves every handshake and loses peacetime throughput.
+	if oppBefore <= alwBefore {
+		t.Errorf("opportunistic before (%v) not above always-on (%v)", oppBefore, alwBefore)
+	}
+}
+
+func TestAblationSolutionFlood(t *testing.T) {
+	res, err := AblationSolutionFlood(tinyScale())
+	if err != nil {
+		t.Fatalf("AblationSolutionFlood: %v", err)
+	}
+	m := res.Run.Server.Metrics()
+	if m.SolutionInvalid+m.SolutionMalformed == 0 {
+		t.Error("no bogus solutions rejected")
+	}
+	if during := phaseMean(res.Run, res.Run.ServerCPU(), phaseDuring); during > 5 {
+		t.Errorf("server CPU during solution flood = %v%%, want < 5%%", during)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	// Smoke-test every table renderer on one tiny run set.
+	f8, err := Fig8(tinyScale())
+	if err != nil {
+		t.Fatalf("Fig8: %v", err)
+	}
+	if s := f8.Table().String(); len(s) == 0 {
+		t.Error("empty fig8 table")
+	}
+	t1 := Table1()
+	if s := t1.Table().String(); len(s) == 0 {
+		t.Error("empty table1")
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAblationMemoryBoundUniformity(t *testing.T) {
+	res := AblationMemoryBound()
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 devices", len(res.Rows))
+	}
+	// Memory-bound solve times must be far more uniform across the device
+	// mix than compute-bound ones — the §7 fairness argument.
+	if res.MemCV >= res.HashCV {
+		t.Errorf("membound CV %v not below hash CV %v", res.MemCV, res.HashCV)
+	}
+	if res.HashCV < 0.5 {
+		t.Errorf("hash CV %v suspiciously low — device spread not modelled", res.HashCV)
+	}
+	if res.MemCV > 0.35 {
+		t.Errorf("membound CV %v too high — memory rates should be near-uniform", res.MemCV)
+	}
+	// The slowest device must see a dramatic speed-up relative to its
+	// hash-bound time (the Pi profits most).
+	for _, row := range res.Rows {
+		if row.Device.Name == "D1" {
+			if row.MemSolveTime >= row.HashSolveTime {
+				t.Errorf("D1 membound %v not faster than hash %v",
+					row.MemSolveTime, row.HashSolveTime)
+			}
+		}
+	}
+	if s := res.Table().String(); len(s) == 0 {
+		t.Error("empty table")
+	}
+}
+
+func TestAblationAdaptiveRaisesDifficulty(t *testing.T) {
+	// A longer attack gives the per-5 s controller room to climb, and a
+	// longer tail lets the difficulty decay after the protection-release
+	// window.
+	scale := tinyScale()
+	scale.Duration = 160 * time.Second
+	scale.AttackStart = 15 * time.Second
+	scale.AttackStop = 105 * time.Second
+	res, err := AblationAdaptive(scale)
+	if err != nil {
+		t.Fatalf("AblationAdaptive: %v", err)
+	}
+	if res.PeakM() <= 13 {
+		t.Errorf("peak m = %v, want the controller to climb above the m=12 baseline", res.PeakM())
+	}
+	// After the attack and the protection-release window the difficulty
+	// decays towards the baseline.
+	if res.FinalM() >= res.PeakM() {
+		t.Errorf("final m = %v did not decay from peak %v", res.FinalM(), res.PeakM())
+	}
+	// The smart bots keep solutions fresh, so at fixed m=12 they flood
+	// effectively; once the controller has climbed (late attack), the
+	// adaptive server throttles them harder.
+	late := func(run *FloodRun) float64 {
+		rate := run.AttackerEstablishedRate()
+		lo, hi := 75, 105
+		if hi > len(rate) {
+			hi = len(rate)
+		}
+		var sum float64
+		for _, v := range rate[lo:hi] {
+			sum += v
+		}
+		return sum / float64(hi-lo)
+	}
+	fixedRate := late(res.Fixed)
+	adaptiveRate := late(res.Adaptive)
+	if adaptiveRate >= fixedRate {
+		t.Errorf("late-attack adaptive attacker rate %v not below fixed %v", adaptiveRate, fixedRate)
+	}
+	if s := res.Table().String(); len(s) == 0 {
+		t.Error("empty table")
+	}
+}

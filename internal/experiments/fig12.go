@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
+	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
+	"github.com/tcppuzzles/tcppuzzles/internal/stats"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// Fig12Config selects the difficulty grid for Experiment 3.
+type Fig12Config struct {
+	// Ks and Ms form the grid; defaults are the paper's {1..4} ×
+	// {12,15,16,17,18,20}.
+	Ks []uint8
+	Ms []uint8
+	// Scale sets the underlying flood scenario.
+	Scale FloodScale
+}
+
+func (c *Fig12Config) fill() {
+	if len(c.Ks) == 0 {
+		c.Ks = []uint8{1, 2, 3, 4}
+	}
+	if len(c.Ms) == 0 {
+		c.Ms = []uint8{12, 15, 16, 17, 18, 20}
+	}
+	if c.Scale.Duration == 0 {
+		c.Scale = PaperScale()
+	}
+}
+
+// Fig12Cell is one box of the grid: per-client per-second throughput
+// samples during the attack.
+type Fig12Cell struct {
+	Params puzzle.Params
+	Box    stats.Box
+}
+
+// Fig12Result is the difficulty grid of Experiment 3.
+type Fig12Result struct {
+	Cells []Fig12Cell
+}
+
+// Fig12 sweeps puzzle difficulties during a connection flood and reports
+// client-throughput box statistics per (k, m) — the Nash cell (2,17) should
+// show the most stable (lowest-variance) throughput.
+func Fig12(cfg Fig12Config) (*Fig12Result, error) {
+	cfg.fill()
+	res := &Fig12Result{}
+	for _, k := range cfg.Ks {
+		for _, m := range cfg.Ms {
+			params := puzzle.Params{K: k, M: m, L: 32}
+			run, err := RunFlood(cfg.Scale.apply(FloodConfig{
+				Label:        params.String(),
+				Protection:   serversim.ProtectionPuzzles,
+				Params:       params,
+				AttackKind:   attacksim.ConnFlood,
+				ClientsSolve: true,
+				BotsSolve:    true,
+				// The difficulty sweep assumes the strongest attacker:
+				// bots bound their solve backlog so solutions stay fresh.
+				// A greedy flooder's solutions go stale at any m, which
+				// would make every difficulty look equally effective.
+				BotMaxSolveBacklog: 2 * time.Second,
+			}))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig12 %v: %w", params, err)
+			}
+			res.Cells = append(res.Cells, Fig12Cell{
+				Params: params,
+				Box:    stats.BoxOf(run.ClientThroughputSamplesDuringAttack()),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Table renders the grid.
+func (r *Fig12Result) Table() Table {
+	t := Table{
+		Title:  "Fig 12 — client throughput during attack by difficulty (Mbps)",
+		Header: []string{"k", "m", "mean", "std", "q1", "med", "q3"},
+	}
+	for _, c := range r.Cells {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", c.Params.K),
+			fmt.Sprintf("%d", c.Params.M),
+			f2(c.Box.Mean), f2(c.Box.Std),
+			f2(c.Box.Q1), f2(c.Box.Med), f2(c.Box.Q3),
+		})
+	}
+	return t
+}
+
+// CellFor returns the box for a difficulty.
+func (r *Fig12Result) CellFor(k, m uint8) (Fig12Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Params.K == k && c.Params.M == m {
+			return c, true
+		}
+	}
+	return Fig12Cell{}, false
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
+	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// SweepPoint is one sample of Experiment 4: the botnet's attempted rate
+// against the rate it actually lands on the server.
+type SweepPoint struct {
+	// Label identifies the sweep coordinate (per-node rate or botnet size).
+	Label string
+	// MeasuredAttackRate is the botnet's SYN rate after CPU limiting (pps).
+	MeasuredAttackRate float64
+	// CompletionRate is the effective attack rate at the server (cps).
+	CompletionRate float64
+}
+
+// Fig13Result sweeps per-node attack rate at fixed botnet size.
+type Fig13Result struct {
+	Points []SweepPoint
+}
+
+// Fig13 fixes a 5-bot botnet and sweeps the per-node rate, reproducing the
+// finding that rate increases do not raise the effective attack rate.
+func Fig13(scale FloodScale, rates []float64) (*Fig13Result, error) {
+	if len(rates) == 0 {
+		rates = []float64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+	}
+	res := &Fig13Result{}
+	for _, rate := range rates {
+		point, err := botnetSweepPoint(scale, 5, rate, fmt.Sprintf("%.0f pps/node", rate))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig13 rate %v: %w", rate, err)
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// Table renders the rate sweep.
+func (r *Fig13Result) Table() Table {
+	return sweepTable("Fig 13 — rate sweep (5 bots)", r.Points)
+}
+
+// Fig14Result sweeps botnet size at fixed cumulative rate.
+type Fig14Result struct {
+	Points []SweepPoint
+}
+
+// Fig14 fixes the cumulative attack rate at 5000 pps and sweeps the botnet
+// size, reproducing the finding that only more machines raise the effective
+// rate — and only marginally (≈1/100 of the measured rate).
+func Fig14(scale FloodScale, sizes []int, totalRate float64) (*Fig14Result, error) {
+	if len(sizes) == 0 {
+		sizes = []int{2, 4, 6, 8, 10, 12, 14}
+	}
+	if totalRate == 0 {
+		totalRate = 5000
+	}
+	res := &Fig14Result{}
+	for _, size := range sizes {
+		point, err := botnetSweepPoint(scale, size, totalRate/float64(size),
+			fmt.Sprintf("%d bots", size))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig14 size %d: %w", size, err)
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// Table renders the size sweep.
+func (r *Fig14Result) Table() Table {
+	return sweepTable("Fig 14 — botnet size sweep (5000 pps total)", r.Points)
+}
+
+// botnetSweepPoint runs one connection flood with solving bots at the Nash
+// difficulty and measures attempted vs completed rates during the attack.
+func botnetSweepPoint(scale FloodScale, bots int, perBotRate float64, label string) (SweepPoint, error) {
+	scale.BotCount = bots
+	scale.PerBotRate = perBotRate
+	run, err := RunFlood(scale.apply(FloodConfig{
+		Label:        label,
+		Protection:   serversim.ProtectionPuzzles,
+		Params:       puzzle.Params{K: 2, M: 17, L: 32},
+		AttackKind:   attacksim.ConnFlood,
+		ClientsSolve: true,
+		BotsSolve:    true,
+		// Strongest attacker: solutions kept fresh, so the completion
+		// rate reflects the per-bot CPU bound rather than staleness.
+		BotMaxSolveBacklog: 2 * time.Second,
+	}))
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{
+		Label:              label,
+		MeasuredAttackRate: run.AttackWindowMean(run.MeasuredAttackRate()),
+		CompletionRate:     run.AttackWindowMean(run.AttackerEstablishedRate()),
+	}, nil
+}
+
+func sweepTable(title string, points []SweepPoint) Table {
+	t := Table{
+		Title:  title,
+		Header: []string{"sweep", "measured-rate(pps)", "completion-rate(cps)"},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{p.Label, f1(p.MeasuredAttackRate), f2(p.CompletionRate)})
+	}
+	return t
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
+	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// AdoptionScenario is one of Experiment 5's deployment mixes.
+type AdoptionScenario struct {
+	// Label follows the paper's notation: (NA,NC), (SA,NC), (NA,SC),
+	// (SA,SC); the paper groups the last two as (*A,SC).
+	Label        string
+	AttackSolves bool
+	ClientSolves bool
+}
+
+// Fig15Scenarios returns the paper's four adoption mixes.
+func Fig15Scenarios() []AdoptionScenario {
+	return []AdoptionScenario{
+		{Label: "(NA,NC)", AttackSolves: false, ClientSolves: false},
+		{Label: "(SA,NC)", AttackSolves: true, ClientSolves: false},
+		{Label: "(NA,SC)", AttackSolves: false, ClientSolves: true},
+		{Label: "(SA,SC)", AttackSolves: true, ClientSolves: true},
+	}
+}
+
+// Fig15Cell is one scenario's outcome.
+type Fig15Cell struct {
+	Scenario AdoptionScenario
+	// PctEstablished is the percentage of client connection attempts that
+	// completed during the attack window.
+	PctEstablished float64
+	// Series is the per-bucket completion percentage.
+	Series []float64
+}
+
+// Fig15Result is the adoption study.
+type Fig15Result struct {
+	Cells []Fig15Cell
+}
+
+// Fig15 measures how unpatched (non-solving) clients fare against solving
+// and non-solving attackers under a connection flood at the Nash
+// difficulty. Solving clients are almost always served; non-solving clients
+// see erratic service against solving attackers and near-zero service
+// against non-solving attackers.
+func Fig15(scale FloodScale) (*Fig15Result, error) {
+	res := &Fig15Result{}
+	for _, sc := range Fig15Scenarios() {
+		run, err := RunFlood(scale.apply(FloodConfig{
+			Label:        sc.Label,
+			Protection:   serversim.ProtectionPuzzles,
+			Params:       puzzle.Params{K: 2, M: 17, L: 32},
+			AttackKind:   attacksim.ConnFlood,
+			ClientsSolve: sc.ClientSolves,
+			BotsSolve:    sc.AttackSolves,
+		}))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig15 %s: %w", sc.Label, err)
+		}
+		res.Cells = append(res.Cells, Fig15Cell{
+			Scenario:       sc,
+			PctEstablished: pctEstablishedDuring(run),
+			Series:         pctSeries(run),
+		})
+	}
+	return res, nil
+}
+
+// pctEstablishedDuring computes completed/attempted over the attack window.
+func pctEstablishedDuring(run *FloodRun) float64 {
+	var attempts, successes float64
+	for _, c := range run.Clients {
+		attempts += c.Metrics().Attempts.SumRange(run.Cfg.AttackStart, run.Cfg.AttackStop)
+		successes += c.Metrics().Successes.SumRange(run.Cfg.AttackStart, run.Cfg.AttackStop)
+	}
+	if attempts == 0 {
+		return 0
+	}
+	return 100 * successes / attempts
+}
+
+// pctSeries computes the per-bucket completion percentage across clients.
+func pctSeries(run *FloodRun) []float64 {
+	n := int(run.Cfg.Duration/run.Cfg.Bucket) + 1
+	attempts := make([]float64, n)
+	successes := make([]float64, n)
+	for _, c := range run.Clients {
+		for i, v := range c.Metrics().Attempts.Values(run.Cfg.Duration) {
+			attempts[i] += v
+		}
+		for i, v := range c.Metrics().Successes.Values(run.Cfg.Duration) {
+			successes[i] += v
+		}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		if attempts[i] > 0 {
+			out[i] = 100 * successes[i] / attempts[i]
+		}
+	}
+	return out
+}
+
+// Table renders the adoption outcomes.
+func (r *Fig15Result) Table() Table {
+	t := Table{
+		Title:  "Fig 15 — % established during attack by adoption mix",
+		Header: []string{"scenario", "%established", "series"},
+	}
+	for _, c := range r.Cells {
+		t.Rows = append(t.Rows, []string{
+			c.Scenario.Label,
+			f1(c.PctEstablished),
+			sparkline(downsample(c.Series, 40)),
+		})
+	}
+	return t
+}
+
+// CellFor returns the cell for a scenario label.
+func (r *Fig15Result) CellFor(label string) (Fig15Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Scenario.Label == label {
+			return c, true
+		}
+	}
+	return Fig15Cell{}, false
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/game"
+	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
+	"github.com/tcppuzzles/tcppuzzles/internal/mm1"
+)
+
+// Fig3aResult is the client performance profile of Fig. 3a: cumulative
+// hashes over time per CPU, and the fleet w_av.
+type Fig3aResult struct {
+	Step    time.Duration
+	Horizon time.Duration
+	Curves  map[string][]float64
+	Wav     float64
+}
+
+// Fig3a profiles the paper's three client CPUs over one second.
+func Fig3a() (*Fig3aResult, error) {
+	const (
+		step    = 100 * time.Millisecond
+		horizon = time.Second
+	)
+	res := &Fig3aResult{Step: step, Horizon: horizon, Curves: map[string][]float64{}}
+	for _, dev := range cpumodel.ClientCPUs() {
+		res.Curves[dev.Name] = cpumodel.HashCurve(dev, step, horizon)
+	}
+	wav, err := cpumodel.FleetWav(cpumodel.ClientCPUs(), 400*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	res.Wav = wav
+	return res, nil
+}
+
+// Table renders the Fig. 3a profile.
+func (r *Fig3aResult) Table() Table {
+	t := Table{
+		Title:  "Fig 3a — client hash profiles (cumulative hashes)",
+		Header: []string{"t(ms)", "cpu1", "cpu2", "cpu3"},
+	}
+	n := len(r.Curves["cpu1"])
+	for i := 0; i < n; i++ {
+		ms := (time.Duration(i+1) * r.Step).Milliseconds()
+		t.Rows = append(t.Rows, []string{
+			f1(float64(ms)),
+			f1(r.Curves["cpu1"][i]),
+			f1(r.Curves["cpu2"][i]),
+			f1(r.Curves["cpu3"][i]),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"w_av", f1(r.Wav), "", ""})
+	return t
+}
+
+// Fig3bResult is the server profile of Fig. 3b: service rate and service
+// parameter α per concurrency level.
+type Fig3bResult struct {
+	Points []Fig3bPoint
+	Alpha  float64
+}
+
+// Fig3bPoint is one sweep sample.
+type Fig3bPoint struct {
+	Concurrent  int
+	ServiceRate float64
+	Alpha       float64
+}
+
+// Fig3b stress-tests the modelled Apache deployment across concurrency
+// levels (the ab sweep) and extracts the converged α.
+func Fig3b() (*Fig3bResult, error) {
+	cfg := mm1.PaperStress()
+	levels := []int{1, 5, 10, 25, 50, 100, 200, 400, 600, 800, 1000}
+	points := cfg.Sweep(levels)
+	res := &Fig3bResult{}
+	for _, p := range points {
+		a, err := game.Alpha(p)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig3bPoint{
+			Concurrent:  p.Concurrent,
+			ServiceRate: p.ServiceRate,
+			Alpha:       a,
+		})
+	}
+	alpha, err := game.AlphaFromStress(points)
+	if err != nil {
+		return nil, err
+	}
+	res.Alpha = alpha
+	return res, nil
+}
+
+// Table renders the Fig. 3b sweep.
+func (r *Fig3bResult) Table() Table {
+	t := Table{
+		Title:  "Fig 3b — server profile (service rate µ and parameter α)",
+		Header: []string{"concurrent", "rate(req/s)", "alpha"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			f1(float64(p.Concurrent)), f1(p.ServiceRate), f3(p.Alpha),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"converged α", f3(r.Alpha), ""})
+	return t
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/clientsim"
+	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
+	"github.com/tcppuzzles/tcppuzzles/internal/netsim"
+	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
+	"github.com/tcppuzzles/tcppuzzles/internal/stats"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// Fig6Config scales Experiment 1 (connection-time CDFs across k and m).
+type Fig6Config struct {
+	// Ks and Ms are the difficulty grid; defaults are the paper's
+	// {1,2,3,4} × {4,10,16,20}.
+	Ks []uint8
+	Ms []uint8
+	// Connections is the number of handshakes sampled per cell.
+	Connections int
+	// Seed drives randomness.
+	Seed int64
+}
+
+func (c *Fig6Config) fill() {
+	if len(c.Ks) == 0 {
+		c.Ks = []uint8{1, 2, 3, 4}
+	}
+	if len(c.Ms) == 0 {
+		c.Ms = []uint8{4, 10, 16, 20}
+	}
+	if c.Connections == 0 {
+		c.Connections = 300
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Fig6Cell is one CDF of the grid.
+type Fig6Cell struct {
+	Params puzzle.Params
+	// CDF is over connection times in microseconds (the paper's axis).
+	CDF *stats.CDF
+}
+
+// Fig6Result is the full grid.
+type Fig6Result struct {
+	Cells []Fig6Cell
+}
+
+// Fig6 measures handshake completion time CDFs as (k, m) vary, with
+// challenges forced on (no attack, LAN latency). Connection time includes
+// the solve time on the modelled client CPU plus the LAN round trips, so
+// the paper's structure — exponential growth in m, linear growth in k —
+// is preserved.
+func Fig6(cfg Fig6Config) (*Fig6Result, error) {
+	cfg.fill()
+	res := &Fig6Result{}
+	for _, k := range cfg.Ks {
+		for _, m := range cfg.Ms {
+			params := puzzle.Params{K: k, M: m, L: 32}
+			cell, err := fig6Cell(params, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig6 %v: %w", params, err)
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+func fig6Cell(params puzzle.Params, cfg Fig6Config) (Fig6Cell, error) {
+	eng := netsim.NewEngine()
+	network := netsim.NewNetwork(eng)
+	// LAN links: negligible propagation so solve time dominates, as in the
+	// paper's testbed measurements.
+	lan := netsim.LinkConfig{RateBps: 1e9, Latency: 10 * time.Microsecond, MaxBacklog: time.Second}
+	srv, err := serversim.New(eng, network, lan, serversim.Config{
+		Addr:            [4]byte{10, 0, 0, 1},
+		Protection:      serversim.ProtectionPuzzles,
+		AlwaysChallenge: true,
+		PuzzleParams:    params,
+		SimulatedCrypto: true,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return Fig6Cell{}, err
+	}
+	client, err := clientsim.New(eng, network, lan, clientsim.Config{
+		Addr:            [4]byte{10, 1, 0, 1},
+		ServerAddr:      srv.Addr(),
+		Solves:          true,
+		SimulatedCrypto: true,
+		RequestBytes:    1000,
+		Device:          cpumodel.CPU1,
+		MaxSolveBacklog: time.Hour, // sequential connects; never abandon
+		Seed:            cfg.Seed + int64(params.K)*100 + int64(params.M),
+	})
+	if err != nil {
+		return Fig6Cell{}, err
+	}
+	// Issue connections sequentially so solves do not queue behind each
+	// other (the paper measures isolated connection times).
+	var connect func()
+	remaining := cfg.Connections
+	connect = func() {
+		if remaining == 0 {
+			return
+		}
+		remaining--
+		client.Connect()
+		eng.Schedule(5*time.Second, connect)
+	}
+	eng.ScheduleAt(0, connect)
+	eng.Run(time.Duration(cfg.Connections+2) * 5 * time.Second)
+
+	times := client.Metrics().ConnTimes
+	micros := make([]float64, len(times))
+	for i, s := range times {
+		micros[i] = s * 1e6
+	}
+	return Fig6Cell{Params: params, CDF: stats.NewCDF(micros)}, nil
+}
+
+// Table renders mean and quantiles per grid cell.
+func (r *Fig6Result) Table() Table {
+	t := Table{
+		Title:  "Fig 6 — connection time vs difficulty (µs)",
+		Header: []string{"k", "m", "mean", "p10", "p50", "p90", "n"},
+	}
+	for _, c := range r.Cells {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", c.Params.K),
+			fmt.Sprintf("%d", c.Params.M),
+			f1(c.CDF.Mean()),
+			f1(c.CDF.Quantile(0.10)),
+			f1(c.CDF.Quantile(0.50)),
+			f1(c.CDF.Quantile(0.90)),
+			fmt.Sprintf("%d", c.CDF.Len()),
+		})
+	}
+	return t
+}
+
+// MeanFor returns the mean connection time (µs) for a difficulty, used by
+// shape assertions.
+func (r *Fig6Result) MeanFor(k, m uint8) (float64, bool) {
+	for _, c := range r.Cells {
+		if c.Params.K == k && c.Params.M == m {
+			return c.CDF.Mean(), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
+	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// Fig9Result is the CPU-utilisation view of the Nash-difficulty connection
+// flood (Fig. 9).
+type Fig9Result struct {
+	Run *FloodRun
+}
+
+// Fig9 runs a connection flood at the Nash difficulty and reports CPU
+// utilisation at clients, server and attackers.
+func Fig9(scale FloodScale) (*Fig9Result, error) {
+	run, err := RunFlood(scale.apply(FloodConfig{
+		Label:        "challenges-m17",
+		Protection:   serversim.ProtectionPuzzles,
+		Params:       puzzle.Params{K: 2, M: 17, L: 32},
+		AttackKind:   attacksim.ConnFlood,
+		ClientsSolve: true,
+		BotsSolve:    true,
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig9: %w", err)
+	}
+	return &Fig9Result{Run: run}, nil
+}
+
+// Table reports phase means and peaks of %CPU per role.
+func (r *Fig9Result) Table() Table {
+	t := Table{
+		Title:  "Fig 9 — %CPU during connection flood (Nash difficulty)",
+		Header: []string{"role", "before", "during", "after", "peak", "series"},
+	}
+	rows := []struct {
+		role   string
+		series []float64
+	}{
+		{"client", r.Run.ClientCPU()},
+		{"server", r.Run.ServerCPU()},
+		{"attacker", r.Run.AttackerCPU()},
+	}
+	for _, row := range rows {
+		var peak float64
+		for _, v := range row.series {
+			if v > peak {
+				peak = v
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			row.role,
+			f1(phaseMean(r.Run, row.series, phaseBefore)),
+			f1(phaseMean(r.Run, row.series, phaseDuring)),
+			f1(phaseMean(r.Run, row.series, phaseAfter)),
+			f1(peak),
+			sparkline(downsample(row.series, 40)),
+		})
+	}
+	return t
+}
+
+// Fig10Result traces queue occupancy under a connection flood for puzzles
+// vs cookies (Fig. 10).
+type Fig10Result struct {
+	Puzzles *FloodRun
+	Cookies *FloodRun
+}
+
+// Fig10 runs the two defenses and captures listen/accept queue sizes.
+func Fig10(scale FloodScale) (*Fig10Result, error) {
+	puzzles, err := RunFlood(scale.apply(FloodConfig{
+		Label:        "challenges",
+		Protection:   serversim.ProtectionPuzzles,
+		Params:       puzzle.Params{K: 2, M: 17, L: 32},
+		AttackKind:   attacksim.ConnFlood,
+		ClientsSolve: true,
+		BotsSolve:    true,
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig10 puzzles: %w", err)
+	}
+	cookies, err := RunFlood(scale.apply(FloodConfig{
+		Label:        "cookies",
+		Protection:   serversim.ProtectionCookies,
+		AttackKind:   attacksim.ConnFlood,
+		ClientsSolve: true,
+		BotsSolve:    true,
+	}))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig10 cookies: %w", err)
+	}
+	return &Fig10Result{Puzzles: puzzles, Cookies: cookies}, nil
+}
+
+// Table reports queue occupancy during the attack.
+func (r *Fig10Result) Table() Table {
+	t := Table{
+		Title:  "Fig 10 — queue occupancy during connection flood",
+		Header: []string{"defense", "queue", "during-mean", "peak", "series"},
+	}
+	add := func(label string, run *FloodRun) {
+		listen, accept := run.QueueSizes()
+		for _, q := range []struct {
+			name   string
+			series []float64
+		}{{"listen", listen}, {"accept", accept}} {
+			var peak float64
+			for _, v := range q.series {
+				if v > peak {
+					peak = v
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				label, q.name,
+				f1(phaseMean(run, q.series, phaseDuring)),
+				f1(peak),
+				sparkline(downsample(q.series, 40)),
+			})
+		}
+	}
+	add("challenges", r.Puzzles)
+	add("cookies", r.Cookies)
+	return t
+}
+
+// Fig11Result compares the botnet's effective (completed-connection) rate
+// under puzzles vs cookies (Fig. 11).
+type Fig11Result struct {
+	Puzzles *FloodRun
+	Cookies *FloodRun
+}
+
+// Fig11 reuses the Fig. 10 scenario pair and extracts attacker completion
+// rates.
+func Fig11(scale FloodScale) (*Fig11Result, error) {
+	f10, err := Fig10(scale)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig11Result{Puzzles: f10.Puzzles, Cookies: f10.Cookies}, nil
+}
+
+// Table reports effective attack rates (cps) during the attack window.
+func (r *Fig11Result) Table() Table {
+	t := Table{
+		Title:  "Fig 11 — effective attack rate (completed connections/s)",
+		Header: []string{"defense", "mean-during", "series"},
+	}
+	for _, d := range []struct {
+		label string
+		run   *FloodRun
+	}{{"challenges", r.Puzzles}, {"cookies", r.Cookies}} {
+		rate := d.run.AttackerEstablishedRate()
+		t.Rows = append(t.Rows, []string{
+			d.label,
+			f2(phaseMean(d.run, rate, phaseDuring)),
+			sparkline(downsample(rate, 40)),
+		})
+	}
+	return t
+}
+
+// ReductionFactor returns cookies/puzzles effective-rate ratio — the paper
+// reports 225/4 ≈ 37×.
+func (r *Fig11Result) ReductionFactor() float64 {
+	p := phaseMean(r.Puzzles, r.Puzzles.AttackerEstablishedRate(), phaseDuring)
+	c := phaseMean(r.Cookies, r.Cookies.AttackerEstablishedRate(), phaseDuring)
+	if p <= 0 {
+		return 0
+	}
+	return c / p
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
+	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// FloodScale scales the paper's full 600-second deployment down for tests
+// and benchmarks while preserving structure.
+type FloodScale struct {
+	// Duration, AttackStart, AttackStop override the timeline.
+	Duration, AttackStart, AttackStop time.Duration
+	// NumClients, ClientRate, BotCount, PerBotRate override the load.
+	NumClients int
+	ClientRate float64
+	BotCount   int
+	PerBotRate float64
+	// Backlog and AcceptBacklog size the server queues; reduced runs must
+	// shrink them with the attack rate so floods saturate them on the same
+	// relative timescale as the paper's 5000 pps vs 4096 slots.
+	Backlog       int
+	AcceptBacklog int
+	// Workers sizes the application pool; reduced runs shrink it so the
+	// flood overwhelms the drain rate by the same factor as at full scale.
+	Workers int
+	// Seed overrides the seed.
+	Seed int64
+}
+
+// PaperScale is the full-size evaluation of §6.
+func PaperScale() FloodScale {
+	return FloodScale{
+		Duration: 600 * time.Second, AttackStart: 120 * time.Second, AttackStop: 480 * time.Second,
+		NumClients: 15, ClientRate: 20, BotCount: 10, PerBotRate: 500,
+		Backlog: 4096, AcceptBacklog: 4096, Workers: 256, Seed: 1,
+	}
+}
+
+// QuickScale is a reduced deployment for benchmarks and tests: the same
+// shape at ~1/10 the event count.
+func QuickScale() FloodScale {
+	return FloodScale{
+		Duration: 120 * time.Second, AttackStart: 30 * time.Second, AttackStop: 90 * time.Second,
+		NumClients: 6, ClientRate: 10, BotCount: 5, PerBotRate: 120,
+		Backlog: 512, AcceptBacklog: 512, Workers: 64, Seed: 1,
+	}
+}
+
+func (s FloodScale) apply(cfg FloodConfig) FloodConfig {
+	cfg.Duration = s.Duration
+	cfg.AttackStart = s.AttackStart
+	cfg.AttackStop = s.AttackStop
+	cfg.NumClients = s.NumClients
+	cfg.ClientRate = s.ClientRate
+	cfg.BotCount = s.BotCount
+	cfg.PerBotRate = s.PerBotRate
+	cfg.Backlog = s.Backlog
+	cfg.AcceptBacklog = s.AcceptBacklog
+	cfg.Workers = s.Workers
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	return cfg
+}
+
+// DefenseRun couples a label with a completed flood run.
+type DefenseRun struct {
+	Label string
+	Run   *FloodRun
+}
+
+// Fig7Result compares defenses under a SYN flood.
+type Fig7Result struct {
+	Runs []DefenseRun
+}
+
+// Fig7 runs the SYN-flood comparison of Fig. 7: no defense, SYN cookies,
+// puzzles at (1,8), and puzzles at the Nash difficulty (2,17). Clients run
+// patched kernels.
+func Fig7(scale FloodScale) (*Fig7Result, error) {
+	defenses := []struct {
+		label      string
+		protection serversim.Protection
+		params     puzzle.Params
+	}{
+		{"nodefense", serversim.ProtectionNone, puzzle.Params{}},
+		{"cookies", serversim.ProtectionCookies, puzzle.Params{}},
+		{"challenges-m8", serversim.ProtectionPuzzles, puzzle.Params{K: 1, M: 8, L: 32}},
+		{"challenges-m17", serversim.ProtectionPuzzles, puzzle.Params{K: 2, M: 17, L: 32}},
+	}
+	res := &Fig7Result{}
+	for _, d := range defenses {
+		cfg := scale.apply(FloodConfig{
+			Label:        d.label,
+			Protection:   d.protection,
+			Params:       d.params,
+			AttackKind:   attacksim.SYNFlood,
+			ClientsSolve: true,
+		})
+		run, err := RunFlood(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig7 %s: %w", d.label, err)
+		}
+		res.Runs = append(res.Runs, DefenseRun{Label: d.label, Run: run})
+	}
+	return res, nil
+}
+
+// Table summarises throughput before/during/after the attack per defense.
+func (r *Fig7Result) Table() Table {
+	return floodComparisonTable("Fig 7 — SYN flood: throughput (Mbps)", r.Runs)
+}
+
+// Fig8Result compares defenses under a connection flood.
+type Fig8Result struct {
+	Runs []DefenseRun
+}
+
+// Fig8 runs the connection-flood comparison of Fig. 8: no defense, SYN
+// cookies, and puzzles at the Nash difficulty. The bots run patched kernels
+// (they solve when challenged), matching §6's deployment.
+func Fig8(scale FloodScale) (*Fig8Result, error) {
+	defenses := []struct {
+		label      string
+		protection serversim.Protection
+		params     puzzle.Params
+	}{
+		{"nodefense", serversim.ProtectionNone, puzzle.Params{}},
+		{"cookies", serversim.ProtectionCookies, puzzle.Params{}},
+		{"challenges-m17", serversim.ProtectionPuzzles, puzzle.Params{K: 2, M: 17, L: 32}},
+	}
+	res := &Fig8Result{}
+	for _, d := range defenses {
+		cfg := scale.apply(FloodConfig{
+			Label:        d.label,
+			Protection:   d.protection,
+			Params:       d.params,
+			AttackKind:   attacksim.ConnFlood,
+			ClientsSolve: true,
+			BotsSolve:    true,
+		})
+		run, err := RunFlood(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig8 %s: %w", d.label, err)
+		}
+		res.Runs = append(res.Runs, DefenseRun{Label: d.label, Run: run})
+	}
+	return res, nil
+}
+
+// Table summarises throughput before/during/after the attack per defense.
+func (r *Fig8Result) Table() Table {
+	return floodComparisonTable("Fig 8 — connection flood: throughput (Mbps)", r.Runs)
+}
+
+// RunFor returns the run with the given label.
+func (r *Fig8Result) RunFor(label string) (*FloodRun, bool) {
+	for _, d := range r.Runs {
+		if d.Label == label {
+			return d.Run, true
+		}
+	}
+	return nil, false
+}
+
+// RunFor returns the run with the given label.
+func (r *Fig7Result) RunFor(label string) (*FloodRun, bool) {
+	for _, d := range r.Runs {
+		if d.Label == label {
+			return d.Run, true
+		}
+	}
+	return nil, false
+}
+
+// floodComparisonTable renders client/server throughput in the three
+// phases (before/during/after attack) plus a sparkline of the server
+// series.
+func floodComparisonTable(title string, runs []DefenseRun) Table {
+	t := Table{
+		Title: title,
+		Header: []string{
+			"defense", "cli-before", "cli-during", "cli-after",
+			"srv-before", "srv-during", "srv-after", "server-series",
+		},
+	}
+	for _, d := range runs {
+		run := d.Run
+		cli := run.ClientThroughputMbps()
+		srv := run.ServerThroughputMbps()
+		t.Rows = append(t.Rows, []string{
+			d.Label,
+			f2(phaseMean(run, cli, phaseBefore)),
+			f2(phaseMean(run, cli, phaseDuring)),
+			f2(phaseMean(run, cli, phaseAfter)),
+			f2(phaseMean(run, srv, phaseBefore)),
+			f2(phaseMean(run, srv, phaseDuring)),
+			f2(phaseMean(run, srv, phaseAfter)),
+			sparkline(downsample(srv, 40)),
+		})
+	}
+	return t
+}
+
+type phase int
+
+const (
+	phaseBefore phase = iota + 1
+	phaseDuring
+	phaseAfter
+)
+
+// Exported phase selectors for callers outside this package (package sim).
+const (
+	PhaseBefore = phaseBefore
+	PhaseDuring = phaseDuring
+	PhaseAfter  = phaseAfter
+)
+
+// PhaseMean averages a per-bucket series over one phase of the attack
+// timeline.
+func (r *FloodRun) PhaseMean(series []float64, ph phase) float64 {
+	return phaseMean(r, series, ph)
+}
+
+// phaseMean averages a series over one phase of the attack timeline,
+// trimming the edges by a few buckets to avoid transition effects.
+func phaseMean(run *FloodRun, series []float64, ph phase) float64 {
+	bucket := run.Cfg.Bucket
+	var lo, hi int
+	switch ph {
+	case phaseBefore:
+		lo, hi = 2, int(run.Cfg.AttackStart/bucket)-1
+	case phaseDuring:
+		lo, hi = int(run.Cfg.AttackStart/bucket)+5, int(run.Cfg.AttackStop/bucket)-1
+	case phaseAfter:
+		// Skip the recovery window (half-open expiry ≈ 30 s in the paper);
+		// scale it with the phase length for reduced runs.
+		phaseLen := int((run.Cfg.Duration - run.Cfg.AttackStop) / bucket)
+		lo = int(run.Cfg.AttackStop/bucket) + phaseLen/2
+		hi = int(run.Cfg.Duration/bucket) - 1
+	}
+	if hi > len(series) {
+		hi = len(series)
+	}
+	if lo >= hi {
+		return 0
+	}
+	var sum float64
+	for _, v := range series[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo)
+}

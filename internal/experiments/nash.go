@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/game"
+	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
+	"github.com/tcppuzzles/tcppuzzles/internal/mm1"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// NashResult is the worked example of §4.4: model parameters measured from
+// the profiles, the equilibrium work level, and the selected (k, m).
+type NashResult struct {
+	Wav    float64
+	Alpha  float64
+	LStar  float64
+	Params puzzle.Params
+	// FiniteLStar is the finite-N numeric optimum for cross-validation.
+	FiniteLStar float64
+	FiniteN     int
+}
+
+// NashExample reproduces §4.4 end-to-end: w_av from the client CPU
+// profiles, α from the stress test, ℓ* from Theorem 1, (k*, m*) from the
+// practical selection procedure, and a finite-N numeric cross-check.
+func NashExample() (*NashResult, error) {
+	wav, err := cpumodel.FleetWav(cpumodel.ClientCPUs(), 400*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	stress := mm1.PaperStress()
+	alpha, err := game.AlphaFromStress(stress.Sweep([]int{10, 100, 500, 1000}))
+	if err != nil {
+		return nil, err
+	}
+	lstar, err := game.LStar(wav, alpha)
+	if err != nil {
+		return nil, err
+	}
+	params, err := game.SelectParams(wav, alpha, game.SelectionConfig{})
+	if err != nil {
+		return nil, err
+	}
+	const n = 2000
+	g := game.UniformGame(n, wav, alpha*n)
+	finite, err := g.OptimalDifficulty()
+	if err != nil {
+		return nil, err
+	}
+	return &NashResult{
+		Wav: wav, Alpha: alpha, LStar: lstar, Params: params,
+		FiniteLStar: finite, FiniteN: n,
+	}, nil
+}
+
+// Table renders the worked example.
+func (r *NashResult) Table() Table {
+	return Table{
+		Title:  "§4.4 — Nash equilibrium difficulty",
+		Header: []string{"quantity", "value"},
+		Rows: [][]string{
+			{"w_av (hashes/400ms)", f1(r.Wav)},
+			{"alpha", f3(r.Alpha)},
+			{"ℓ* = w_av/(α+1)", f1(r.LStar)},
+			{"(k*, m*)", fmt.Sprintf("(%d, %d)", r.Params.K, r.Params.M)},
+			{fmt.Sprintf("finite-N ℓ* (N=%d)", r.FiniteN), f1(r.FiniteLStar)},
+		},
+	}
+}

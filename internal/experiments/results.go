@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a generic tabular result: every experiment renders one so the
+// CLI and benchmarks print uniform output.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// f1, f2, f3 format floats at fixed precision for table cells.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// sparkline renders a compact series for terminal output.
+func sparkline(series []float64) string {
+	if len(series) == 0 {
+		return ""
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var maxV float64
+	for _, v := range series {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range series {
+		idx := 0
+		if maxV > 0 {
+			idx = int(v / maxV * float64(len(levels)-1))
+		}
+		b.WriteRune(levels[idx])
+	}
+	return b.String()
+}
+
+// downsample reduces a series to at most n points by averaging windows.
+func downsample(series []float64, n int) []float64 {
+	if len(series) <= n || n <= 0 {
+		return series
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(series) / n
+		hi := (i + 1) * len(series) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		var sum float64
+		for _, v := range series[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}

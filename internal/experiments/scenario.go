@@ -1,0 +1,295 @@
+// Package experiments reproduces the paper's evaluation (§6): one driver
+// per figure and table, built on the simulated DETER-like testbed. Each
+// driver returns a structured result that renders the same rows/series the
+// paper reports.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
+	"github.com/tcppuzzles/tcppuzzles/internal/clientsim"
+	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
+	"github.com/tcppuzzles/tcppuzzles/internal/netsim"
+	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// FloodConfig describes one flood scenario in the paper's test deployment:
+// one server, a set of clients requesting text, and a botnet.
+type FloodConfig struct {
+	// Label names the run in result tables.
+	Label string
+
+	// Duration is the experiment length; the attack runs over
+	// [AttackStart, AttackStop).
+	Duration    time.Duration
+	AttackStart time.Duration
+	AttackStop  time.Duration
+	// Bucket is the metric bucket width.
+	Bucket time.Duration
+
+	// NumClients client hosts each issue ClientRate requests/second for
+	// RequestBytes of text.
+	NumClients   int
+	ClientRate   float64
+	RequestBytes int
+	// ClientsSolve selects patched client kernels.
+	ClientsSolve bool
+
+	// Protection and Params configure the server defense.
+	Protection      serversim.Protection
+	Params          puzzle.Params
+	AlwaysChallenge bool
+	Workers         int
+	Backlog         int
+	AcceptBacklog   int
+
+	// AttackKind, BotCount, PerBotRate and BotsSolve configure the botnet.
+	AttackKind attacksim.Kind
+	BotCount   int
+	PerBotRate float64
+	BotsSolve  bool
+	// BotMaxSolveBacklog makes solving bots "smart": they discard stale
+	// challenges instead of queueing greedily (zero = greedy default).
+	BotMaxSolveBacklog time.Duration
+
+	// AdaptiveDifficulty enables the server's closed-loop controller.
+	AdaptiveDifficulty bool
+
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// fill applies the paper's §6 defaults: 15 clients at 20 req/s, a 10-bot
+// botnet at 500 pps each, attack over [120 s, 480 s) of a 600 s run.
+func (c *FloodConfig) fill() {
+	if c.Duration == 0 {
+		c.Duration = 600 * time.Second
+	}
+	if c.AttackStart == 0 {
+		c.AttackStart = 120 * time.Second
+	}
+	if c.AttackStop == 0 {
+		c.AttackStop = 480 * time.Second
+	}
+	if c.Bucket == 0 {
+		c.Bucket = time.Second
+	}
+	if c.NumClients == 0 {
+		c.NumClients = 15
+	}
+	if c.ClientRate == 0 {
+		c.ClientRate = 20
+	}
+	if c.RequestBytes == 0 {
+		c.RequestBytes = 100_000
+	}
+	if c.Protection == 0 {
+		c.Protection = serversim.ProtectionPuzzles
+	}
+	if c.Params == (puzzle.Params{}) {
+		c.Params = puzzle.Params{K: 2, M: 17, L: 32}
+	}
+	if c.AttackKind == 0 {
+		c.AttackKind = attacksim.ConnFlood
+	}
+	if c.BotCount == 0 {
+		c.BotCount = 10
+	}
+	if c.PerBotRate == 0 {
+		c.PerBotRate = 500
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// FloodRun is a completed flood scenario with its measurement state.
+type FloodRun struct {
+	Cfg     FloodConfig
+	Eng     *netsim.Engine
+	Net     *netsim.Network
+	Server  *serversim.Server
+	Clients []*clientsim.Client
+	Botnet  *attacksim.Botnet
+}
+
+// RunFlood builds and executes a flood scenario to completion.
+func RunFlood(cfg FloodConfig) (*FloodRun, error) {
+	cfg.fill()
+	eng := netsim.NewEngine()
+	network := netsim.NewNetwork(eng)
+
+	srv, err := serversim.New(eng, network, netsim.DefaultServerLink(), serversim.Config{
+		Addr:               [4]byte{10, 0, 0, 1},
+		Protection:         cfg.Protection,
+		PuzzleParams:       cfg.Params,
+		AlwaysChallenge:    cfg.AlwaysChallenge,
+		AdaptiveDifficulty: cfg.AdaptiveDifficulty,
+		SimulatedCrypto:    true,
+		Workers:            cfg.Workers,
+		Backlog:            cfg.Backlog,
+		AcceptBacklog:      cfg.AcceptBacklog,
+		Seed:               cfg.Seed,
+		MetricBucket:       cfg.Bucket,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: server: %w", err)
+	}
+
+	run := &FloodRun{Cfg: cfg, Eng: eng, Net: network, Server: srv}
+	devices := cpumodel.ClientCPUs()
+	for i := 0; i < cfg.NumClients; i++ {
+		client, err := clientsim.New(eng, network, netsim.DefaultHostLink(), clientsim.Config{
+			Addr:            [4]byte{10, 1, byte(i / 250), byte(1 + i%250)},
+			ServerAddr:      srv.Addr(),
+			Rate:            cfg.ClientRate,
+			StopAt:          cfg.Duration,
+			RequestBytes:    cfg.RequestBytes,
+			Solves:          cfg.ClientsSolve,
+			SimulatedCrypto: true,
+			Device:          devices[i%len(devices)],
+			Seed:            cfg.Seed + int64(i)*17,
+			MetricBucket:    cfg.Bucket,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: client %d: %w", i, err)
+		}
+		run.Clients = append(run.Clients, client)
+	}
+
+	if cfg.BotCount > 0 && cfg.PerBotRate > 0 {
+		botnet, err := attacksim.NewBotnet(eng, network, attacksim.BotnetConfig{
+			Size:            cfg.BotCount,
+			BaseAddr:        [4]byte{10, 2, 0, 1},
+			ServerAddr:      srv.Addr(),
+			Kind:            cfg.AttackKind,
+			PerBotRate:      cfg.PerBotRate,
+			Solves:          cfg.BotsSolve,
+			SimulatedCrypto: true,
+			MaxSolveBacklog: cfg.BotMaxSolveBacklog,
+			StartAt:         cfg.AttackStart,
+			StopAt:          cfg.AttackStop,
+			Seed:            cfg.Seed + 1000,
+			MetricBucket:    cfg.Bucket,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: botnet: %w", err)
+		}
+		run.Botnet = botnet
+	}
+
+	eng.Run(cfg.Duration)
+	return run, nil
+}
+
+// ClientThroughputMbps returns the mean per-client goodput in Mbps per
+// bucket.
+func (r *FloodRun) ClientThroughputMbps() []float64 {
+	var out []float64
+	for _, c := range r.Clients {
+		series := c.Metrics().BytesIn.Mbps(r.Cfg.Duration)
+		if out == nil {
+			out = make([]float64, len(series))
+		}
+		for i, v := range series {
+			out[i] += v / float64(len(r.Clients))
+		}
+	}
+	return out
+}
+
+// ServerThroughputMbps returns the server's outgoing throughput in Mbps per
+// bucket.
+func (r *FloodRun) ServerThroughputMbps() []float64 {
+	return r.Server.Metrics().BytesOut.Mbps(r.Cfg.Duration)
+}
+
+// ServerCPU returns per-bucket server CPU utilisation (%).
+func (r *FloodRun) ServerCPU() []float64 {
+	return r.Server.CPU().Utilisation(r.Cfg.Duration)
+}
+
+// ClientCPU returns the mean per-bucket client CPU utilisation (%).
+func (r *FloodRun) ClientCPU() []float64 {
+	var out []float64
+	for _, c := range r.Clients {
+		u := c.CPU().Utilisation(r.Cfg.Duration)
+		if out == nil {
+			out = make([]float64, len(u))
+		}
+		for i, v := range u {
+			out[i] += v / float64(len(r.Clients))
+		}
+	}
+	return out
+}
+
+// AttackerCPU returns the mean per-bucket botnet CPU utilisation (%).
+func (r *FloodRun) AttackerCPU() []float64 {
+	if r.Botnet == nil {
+		return nil
+	}
+	return r.Botnet.MeanCPUUtilisation(r.Cfg.Duration)
+}
+
+// QueueSizes returns per-second listen and accept queue occupancy.
+func (r *FloodRun) QueueSizes() (listen, accept []float64) {
+	m := r.Server.Metrics()
+	return m.ListenLen.Sampled(r.Cfg.Bucket, r.Cfg.Duration),
+		m.AcceptLen.Sampled(r.Cfg.Bucket, r.Cfg.Duration)
+}
+
+// AttackerEstablishedRate returns the botnet's completed connections per
+// second as seen by the server (the effective attack rate).
+func (r *FloodRun) AttackerEstablishedRate() []float64 {
+	if r.Botnet == nil {
+		return nil
+	}
+	return r.Server.Metrics().EstablishedRateFor(r.Botnet.Srcs(), r.Cfg.Duration)
+}
+
+// MeasuredAttackRate returns the botnet's sent packets per second (after
+// CPU limiting).
+func (r *FloodRun) MeasuredAttackRate() []float64 {
+	if r.Botnet == nil {
+		return nil
+	}
+	return r.Botnet.SentRate(r.Cfg.Duration)
+}
+
+// AttackWindowMean averages a per-bucket series over the attack interval.
+func (r *FloodRun) AttackWindowMean(series []float64) float64 {
+	lo := int(r.Cfg.AttackStart / r.Cfg.Bucket)
+	hi := int(r.Cfg.AttackStop / r.Cfg.Bucket)
+	if hi > len(series) {
+		hi = len(series)
+	}
+	if lo >= hi {
+		return 0
+	}
+	var sum float64
+	for _, v := range series[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo)
+}
+
+// ClientThroughputSamplesDuringAttack returns every per-client per-bucket
+// throughput sample (Mbps) inside the attack window — the population behind
+// the Fig. 12 box plots.
+func (r *FloodRun) ClientThroughputSamplesDuringAttack() []float64 {
+	lo := int(r.Cfg.AttackStart / r.Cfg.Bucket)
+	hi := int(r.Cfg.AttackStop / r.Cfg.Bucket)
+	var out []float64
+	for _, c := range r.Clients {
+		series := c.Metrics().BytesIn.Mbps(r.Cfg.Duration)
+		if hi > len(series) {
+			hi = len(series)
+		}
+		out = append(out, series[lo:hi]...)
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// Table1Row is one embedded device of the paper's Table 1, extended with
+// the implied Nash-difficulty solve time and attack rate — the analysis of
+// Experiment 6 (IoT devices can connect but cannot flood).
+type Table1Row struct {
+	Device          cpumodel.Device
+	HashRate        float64
+	HashesIn400ms   float64
+	NashSolveTime   time.Duration
+	MaxFloodRateCPS float64
+}
+
+// Table1Result is the embedded-device study.
+type Table1Result struct {
+	Rows []Table1Row
+	// NashParams is the difficulty used for the derived columns.
+	NashParams puzzle.Params
+}
+
+// Table1 profiles the Raspberry Pi fleet and derives each device's maximum
+// solved-connection rate at the Nash difficulty.
+func Table1() *Table1Result {
+	params := puzzle.Params{K: 2, M: 17, L: 32}
+	res := &Table1Result{NashParams: params}
+	for _, dev := range cpumodel.IoTDevices() {
+		solveHashes := params.ExpectedSolveHashes()
+		res.Rows = append(res.Rows, Table1Row{
+			Device:          dev,
+			HashRate:        dev.HashRate,
+			HashesIn400ms:   dev.HashesIn(400 * time.Millisecond),
+			NashSolveTime:   dev.TimeFor(solveHashes),
+			MaxFloodRateCPS: dev.HashRate / solveHashes,
+		})
+	}
+	return res
+}
+
+// Table renders the device study.
+func (r *Table1Result) Table() Table {
+	t := Table{
+		Title:  "Table 1 — embedded device profiles (+ derived flood capability)",
+		Header: []string{"device", "hashes/s", "hashes-in-400ms", "nash-solve-time", "max-flood-cps"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Device.Name,
+			f1(row.HashRate),
+			f1(row.HashesIn400ms),
+			row.NashSolveTime.Round(time.Millisecond).String(),
+			f2(row.MaxFloodRateCPS),
+		})
+	}
+	return t
+}

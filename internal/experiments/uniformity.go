@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
+	"github.com/tcppuzzles/tcppuzzles/internal/stats"
+	"github.com/tcppuzzles/tcppuzzles/membound"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// UniformityRow compares one device's solve times under the two schemes.
+type UniformityRow struct {
+	Device        cpumodel.Device
+	HashSolveTime time.Duration
+	MemSolveTime  time.Duration
+}
+
+// UniformityResult is the §7 fairness study: compute-bound (SHA-256)
+// puzzles versus memory-bound puzzles across the full device mix, with the
+// coefficient of variation of solve times as the fairness metric.
+type UniformityResult struct {
+	HashParams puzzle.Params
+	MemParams  membound.Params
+	Rows       []UniformityRow
+	// HashCV and MemCV are std/mean of solve time across devices; smaller
+	// means fairer.
+	HashCV float64
+	MemCV  float64
+}
+
+// AblationMemoryBound evaluates the memory-bound alternative of §7: the
+// Nash-equivalent expected work is charged once as SHA-256 operations and
+// once as dependent memory accesses, for every device class the paper
+// profiles (three client Xeons plus the four Raspberry Pis).
+func AblationMemoryBound() *UniformityResult {
+	hashParams := puzzle.Params{K: 2, M: 17, L: 32}
+	// Expected accesses chosen so the *fleet-average* wall-clock cost
+	// matches the hash scheme: 2^12 trials × 64 lookups = 262144 accesses,
+	// numerically equal to the hash scheme's k·2^m = 262144 operations.
+	memParams := membound.Params{M: 12, Walk: 64}
+
+	devices := append(append([]cpumodel.Device{}, cpumodel.ClientCPUs()...),
+		cpumodel.IoTDevices()...)
+	res := &UniformityResult{HashParams: hashParams, MemParams: memParams}
+	var hashTimes, memTimes []float64
+	for _, dev := range devices {
+		// Expected costs: the geometric search does 2^m trials per
+		// solution on average.
+		hashOps := float64(hashParams.K) * float64(uint64(1)<<hashParams.M)
+		row := UniformityRow{
+			Device:        dev,
+			HashSolveTime: dev.TimeFor(hashOps),
+			MemSolveTime:  dev.TimeForAccesses(memParams.ExpectedAccesses()),
+		}
+		res.Rows = append(res.Rows, row)
+		hashTimes = append(hashTimes, row.HashSolveTime.Seconds())
+		memTimes = append(memTimes, row.MemSolveTime.Seconds())
+	}
+	hm, hs := stats.MeanStd(hashTimes)
+	mm, ms := stats.MeanStd(memTimes)
+	if hm > 0 {
+		res.HashCV = hs / hm
+	}
+	if mm > 0 {
+		res.MemCV = ms / mm
+	}
+	return res
+}
+
+// Table renders the uniformity study.
+func (r *UniformityResult) Table() Table {
+	t := Table{
+		Title:  "Ablation — memory-bound puzzles: solve-time uniformity (§7)",
+		Header: []string{"device", "hash-solve", "membound-solve"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Device.Name,
+			row.HashSolveTime.Round(time.Millisecond).String(),
+			row.MemSolveTime.Round(time.Millisecond).String(),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"CV (std/mean)", f3(r.HashCV), f3(r.MemCV)})
+	return t
+}

@@ -1,0 +1,94 @@
+package mm1
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/tcppuzzles/tcppuzzles/game"
+)
+
+func TestSojournTime(t *testing.T) {
+	got, err := SojournTime(10, 5)
+	if err != nil {
+		t.Fatalf("SojournTime: %v", err)
+	}
+	if math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("SojournTime = %v, want 0.2", got)
+	}
+	if _, err := SojournTime(10, 10); !errors.Is(err, ErrUnstable) {
+		t.Errorf("saturated error = %v, want ErrUnstable", err)
+	}
+}
+
+func TestQueueLength(t *testing.T) {
+	got, err := QueueLength(10, 5)
+	if err != nil {
+		t.Fatalf("QueueLength: %v", err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("QueueLength = %v, want 1", got)
+	}
+	if _, err := QueueLength(1, 2); !errors.Is(err, ErrUnstable) {
+		t.Errorf("unstable error = %v", err)
+	}
+}
+
+func TestSimulateMatchesAnalytic(t *testing.T) {
+	const (
+		mu     = 100.0
+		lambda = 50.0
+	)
+	res, err := Simulate(mu, lambda, 200000, 42)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	want, err := SojournTime(mu, lambda)
+	if err != nil {
+		t.Fatalf("SojournTime: %v", err)
+	}
+	if math.Abs(res.MeanSojourn-want)/want > 0.05 {
+		t.Errorf("simulated sojourn %v, analytic %v", res.MeanSojourn, want)
+	}
+	if math.Abs(res.Utilisation-0.5) > 0.05 {
+		t.Errorf("utilisation = %v, want ≈ 0.5", res.Utilisation)
+	}
+}
+
+func TestSimulateRejectsBadInputs(t *testing.T) {
+	if _, err := Simulate(0, 1, 10, 1); err == nil {
+		t.Error("Simulate(mu=0) succeeded")
+	}
+	if _, err := Simulate(1, 0, 10, 1); err == nil {
+		t.Error("Simulate(lambda=0) succeeded")
+	}
+	if _, err := Simulate(1, 1, 0, 1); err == nil {
+		t.Error("Simulate(n=0) succeeded")
+	}
+}
+
+func TestStressThroughputRampAndPlateau(t *testing.T) {
+	cfg := PaperStress()
+	low := cfg.Throughput(1)
+	mid := cfg.Throughput(50)
+	high := cfg.Throughput(1000)
+	if !(low < mid && mid <= high) {
+		t.Errorf("throughput not ramping: %v, %v, %v", low, mid, high)
+	}
+	if high != cfg.ServiceRate {
+		t.Errorf("plateau = %v, want µ=%v", high, cfg.ServiceRate)
+	}
+}
+
+// Fig. 3b: the paper's stress test converges to α = 1.1 at high load.
+func TestPaperStressAlphaConverges(t *testing.T) {
+	cfg := PaperStress()
+	points := cfg.Sweep([]int{1, 10, 50, 100, 200, 400, 600, 800, 1000})
+	alpha, err := game.AlphaFromStress(points)
+	if err != nil {
+		t.Fatalf("AlphaFromStress: %v", err)
+	}
+	if math.Abs(alpha-1.1) > 0.01 {
+		t.Errorf("α = %v, want ≈ 1.1", alpha)
+	}
+}

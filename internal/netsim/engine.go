@@ -1,0 +1,124 @@
+// Package netsim is a deterministic discrete-event network simulator: the
+// substrate standing in for the paper's DETER testbed. It provides a clocked
+// event engine, nodes addressed by IPv4 address, and access links with
+// bandwidth, propagation latency, and drop-tail queues. Packet taps play the
+// role of tcpdump.
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a scheduled callback. Cancel prevents a pending event from
+// firing.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int
+	cancelled bool
+}
+
+// Cancel marks the event so it will not fire. Cancelling an already-fired
+// event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// At returns the event's scheduled time.
+func (e *Event) At() time.Duration { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event clock. Time starts at zero;
+// events at equal times fire in scheduling order.
+type Engine struct {
+	now time.Duration
+	pq  eventHeap
+	seq uint64
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule queues fn to run after delay (clamped at zero) and returns a
+// cancellable handle.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt queues fn at an absolute time (clamped to now).
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// Step fires the next pending event and reports whether one existed.
+func (e *Engine) Step() bool {
+	for len(e.pq) > 0 {
+		ev := heap.Pop(&e.pq).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires all events scheduled at or before until and then advances the
+// clock to until.
+func (e *Engine) Run(until time.Duration) {
+	for len(e.pq) > 0 && e.pq[0].at <= until {
+		if !e.Step() {
+			break
+		}
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.pq) }

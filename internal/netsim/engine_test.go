@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdersEvents(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e.Run(10 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want 10s", e.Now())
+	}
+}
+
+func TestEngineFIFOAtEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run(2 * time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	e.Run(2 * time.Second)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	// Cancelling nil or fired events must not panic.
+	var nilEv *Event
+	nilEv.Cancel()
+	ev2 := e.Schedule(0, func() {})
+	e.Run(3 * time.Second)
+	ev2.Cancel()
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	e.Schedule(time.Second, func() {
+		times = append(times, e.Now())
+		e.Schedule(time.Second, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run(5 * time.Second)
+	if len(times) != 2 || times[0] != time.Second || times[1] != 2*time.Second {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestEngineRunStopsAtBoundary(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(5*time.Second, func() { fired = true })
+	e.Run(4 * time.Second)
+	if fired {
+		t.Error("event beyond boundary fired")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run(6 * time.Second)
+	if !fired {
+		t.Error("event not fired after extending run")
+	}
+}
+
+func TestScheduleNegativeDelayClamps(t *testing.T) {
+	e := NewEngine()
+	e.Run(time.Second)
+	var at time.Duration
+	e.Schedule(-5*time.Second, func() { at = e.Now() })
+	e.Run(2 * time.Second)
+	if at != time.Second {
+		t.Errorf("event at %v, want 1s (clamped)", at)
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// scheduling order.
+func TestEngineMonotoneProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []time.Duration
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Millisecond, func() {
+				fired = append(fired, e.Now())
+			})
+		}
+		e.Run(time.Hour)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

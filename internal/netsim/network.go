@@ -1,0 +1,192 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+)
+
+// Addr is an IPv4 address.
+type Addr = [4]byte
+
+// Node receives segments delivered by the network.
+type Node interface {
+	// Addr is the node's address.
+	Addr() Addr
+	// Handle processes a delivered segment. It runs inside the event loop;
+	// implementations may send further segments and schedule events.
+	Handle(seg tcpkit.Segment)
+}
+
+// LinkConfig describes one node's access link (used symmetrically for both
+// directions, mirroring the paper's full-duplex testbed links).
+type LinkConfig struct {
+	// RateBps is the link bandwidth in bits per second.
+	RateBps float64
+	// Latency is the one-way propagation delay from the node to the
+	// backbone (the backbone itself is well provisioned, per the paper's
+	// topology, and adds no queueing).
+	Latency time.Duration
+	// MaxBacklog bounds the transmit queue as maximum queueing delay;
+	// packets that would wait longer are dropped (drop-tail).
+	MaxBacklog time.Duration
+}
+
+// DefaultHostLink is the paper's 100 Mbps host access link.
+func DefaultHostLink() LinkConfig {
+	return LinkConfig{RateBps: 100e6, Latency: 2 * time.Millisecond, MaxBacklog: 100 * time.Millisecond}
+}
+
+// DefaultServerLink is the paper's 1 Gbps server access link.
+func DefaultServerLink() LinkConfig {
+	return LinkConfig{RateBps: 1e9, Latency: 2 * time.Millisecond, MaxBacklog: 100 * time.Millisecond}
+}
+
+// xmitter is one direction of an access link.
+type xmitter struct {
+	cfg       LinkConfig
+	busyUntil time.Duration
+	dropped   uint64
+	sentPkts  uint64
+	sentBytes uint64
+}
+
+// transmit attempts to enqueue a packet of size bytes at time now and
+// returns the departure time (serialisation complete).
+func (x *xmitter) transmit(now time.Duration, size int) (time.Duration, bool) {
+	start := now
+	if x.busyUntil > start {
+		start = x.busyUntil
+	}
+	if start-now > x.cfg.MaxBacklog {
+		x.dropped++
+		return 0, false
+	}
+	ser := time.Duration(float64(size*8) / x.cfg.RateBps * float64(time.Second))
+	depart := start + ser
+	x.busyUntil = depart
+	x.sentPkts++
+	x.sentBytes += uint64(size)
+	return depart, true
+}
+
+// LinkStats summarises one link direction.
+type LinkStats struct {
+	SentPackets uint64
+	SentBytes   uint64
+	Dropped     uint64
+}
+
+type port struct {
+	node Node
+	up   xmitter
+	down xmitter
+}
+
+// TapDir distinguishes tap events.
+type TapDir int
+
+// Tap directions.
+const (
+	TapSend TapDir = iota + 1
+	TapDeliver
+	TapDrop
+)
+
+// Tap observes packets, standing in for tcpdump.
+type Tap func(at time.Duration, dir TapDir, seg tcpkit.Segment)
+
+// Network connects nodes through access links and a zero-queueing backbone.
+type Network struct {
+	Eng   *Engine
+	ports map[Addr]*port
+	taps  []Tap
+	// Unroutable counts packets addressed to unknown nodes (e.g. SYN-ACKs
+	// to spoofed sources).
+	Unroutable uint64
+}
+
+// NewNetwork returns an empty network on the engine.
+func NewNetwork(eng *Engine) *Network {
+	return &Network{Eng: eng, ports: make(map[Addr]*port)}
+}
+
+// Attach registers a node with its access link. Attaching a duplicate
+// address fails.
+func (n *Network) Attach(node Node, link LinkConfig) error {
+	addr := node.Addr()
+	if _, ok := n.ports[addr]; ok {
+		return fmt.Errorf("netsim: address %v already attached", addr)
+	}
+	n.ports[addr] = &port{node: node, up: xmitter{cfg: link}, down: xmitter{cfg: link}}
+	return nil
+}
+
+// RegisterTap adds a packet observer.
+func (n *Network) RegisterTap(t Tap) { n.taps = append(n.taps, t) }
+
+func (n *Network) tap(dir TapDir, seg tcpkit.Segment) {
+	for _, t := range n.taps {
+		t(n.Eng.Now(), dir, seg)
+	}
+}
+
+// Send injects a segment from its source node. The packet traverses the
+// source uplink, the backbone, and the destination downlink; it may be
+// dropped at either queue or if the destination does not exist.
+func (n *Network) Send(seg tcpkit.Segment) {
+	n.SendFrom(seg.Src, seg)
+}
+
+// SendFrom injects a segment through origin's uplink regardless of the
+// segment's source address — the spoofing primitive SYN flooders use.
+// Replies to the spoofed source become unroutable.
+func (n *Network) SendFrom(origin Addr, seg tcpkit.Segment) {
+	n.tap(TapSend, seg)
+	src, ok := n.ports[origin]
+	if !ok {
+		// Origins must be attached; treat as misconfiguration drop.
+		n.Unroutable++
+		n.tap(TapDrop, seg)
+		return
+	}
+	now := n.Eng.Now()
+	size := seg.WireSize()
+	departUp, ok := src.up.transmit(now, size)
+	if !ok {
+		n.tap(TapDrop, seg)
+		return
+	}
+	// After the uplink serialisation and both propagation legs, the packet
+	// reaches the destination's downlink.
+	dst, haveDst := n.ports[seg.Dst]
+	if !haveDst {
+		n.Unroutable++
+		// Still consume uplink bandwidth; nothing arrives anywhere.
+		return
+	}
+	arriveDown := departUp + src.up.cfg.Latency + dst.down.cfg.Latency
+	n.Eng.ScheduleAt(arriveDown, func() {
+		departDown, ok := dst.down.transmit(n.Eng.Now(), size)
+		if !ok {
+			n.tap(TapDrop, seg)
+			return
+		}
+		n.Eng.ScheduleAt(departDown, func() {
+			n.tap(TapDeliver, seg)
+			dst.node.Handle(seg)
+		})
+	})
+}
+
+// Stats returns (uplink, downlink) statistics for a node address.
+func (n *Network) Stats(addr Addr) (up, down LinkStats, ok bool) {
+	p, found := n.ports[addr]
+	if !found {
+		return LinkStats{}, LinkStats{}, false
+	}
+	up = LinkStats{SentPackets: p.up.sentPkts, SentBytes: p.up.sentBytes, Dropped: p.up.dropped}
+	down = LinkStats{SentPackets: p.down.sentPkts, SentBytes: p.down.sentBytes, Dropped: p.down.dropped}
+	return up, down, true
+}

@@ -1,0 +1,152 @@
+package pzengine
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+func testIssuer(t *testing.T, p puzzle.Params) *puzzle.Issuer {
+	t.Helper()
+	is, err := puzzle.NewIssuer(
+		puzzle.WithParams(p),
+		puzzle.WithClock(func() time.Time { return time.Unix(1_700_000_000, 0) }),
+	)
+	if err != nil {
+		t.Fatalf("NewIssuer: %v", err)
+	}
+	return is
+}
+
+func flow() puzzle.FlowID {
+	return puzzle.FlowID{SrcIP: [4]byte{1, 2, 3, 4}, SrcPort: 555, DstPort: 80, ISN: 42}
+}
+
+func TestSimAcceptsSimSolutions(t *testing.T) {
+	p := puzzle.Params{K: 2, M: 17, L: 32} // too hard to really solve in a test
+	eng := Sim{Is: testIssuer(t, p)}
+	ch := eng.Issue(flow())
+	sol := SimSolution(ch)
+	info, err := eng.Verify(flow(), sol)
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if info.Hashes != 1+int(p.K) {
+		t.Errorf("Hashes = %d, want %d", info.Hashes, 1+p.K)
+	}
+}
+
+func TestSimAcceptsRealSolutions(t *testing.T) {
+	p := puzzle.Params{K: 2, M: 4, L: 32}
+	eng := Sim{Is: testIssuer(t, p)}
+	ch := eng.Issue(flow())
+	sol, _, err := puzzle.Solve(ch)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if _, err := eng.Verify(flow(), sol); err != nil {
+		t.Errorf("Verify(real solution): %v", err)
+	}
+}
+
+func TestSimRejectsGarbage(t *testing.T) {
+	p := puzzle.Params{K: 2, M: 17, L: 32}
+	eng := Sim{Is: testIssuer(t, p)}
+	garbage := puzzle.Solution{
+		Params:    p,
+		Timestamp: 1_700_000_000,
+		Solutions: [][]byte{make([]byte, 4), make([]byte, 4)},
+	}
+	if _, err := eng.Verify(flow(), garbage); err == nil {
+		t.Error("Verify accepted garbage")
+	}
+}
+
+func TestSimRejectsWrongFlow(t *testing.T) {
+	p := puzzle.Params{K: 1, M: 17, L: 32}
+	eng := Sim{Is: testIssuer(t, p)}
+	sol := SimSolution(eng.Issue(flow()))
+	other := flow()
+	other.ISN++
+	if _, err := eng.Verify(other, sol); err == nil {
+		t.Error("Verify accepted solution for a different flow")
+	}
+}
+
+func TestSimEnforcesExpiryAndParams(t *testing.T) {
+	p := puzzle.Params{K: 1, M: 17, L: 32}
+	is := testIssuer(t, p)
+	eng := Sim{Is: is}
+	sol := SimSolution(eng.Issue(flow()))
+
+	// Parameter mismatch after retuning.
+	if err := eng.SetParams(puzzle.Params{K: 1, M: 18, L: 32}); err != nil {
+		t.Fatalf("SetParams: %v", err)
+	}
+	if _, err := eng.Verify(flow(), sol); !errors.Is(err, puzzle.ErrParamMismatch) {
+		t.Errorf("Verify error = %v, want ErrParamMismatch", err)
+	}
+	if err := eng.SetParams(p); err != nil {
+		t.Fatalf("SetParams back: %v", err)
+	}
+
+	// Expired timestamp.
+	old := sol
+	old.Timestamp -= 3600
+	if _, err := eng.Verify(flow(), old); !errors.Is(err, puzzle.ErrExpired) {
+		t.Errorf("Verify error = %v, want ErrExpired", err)
+	}
+}
+
+func TestSimRejectsWrongCountAndLength(t *testing.T) {
+	p := puzzle.Params{K: 2, M: 17, L: 32}
+	eng := Sim{Is: testIssuer(t, p)}
+	sol := SimSolution(eng.Issue(flow()))
+
+	short := sol
+	short.Solutions = sol.Solutions[:1]
+	if _, err := eng.Verify(flow(), short); !errors.Is(err, puzzle.ErrWrongCount) {
+		t.Errorf("Verify(short) = %v, want ErrWrongCount", err)
+	}
+	trunc := sol
+	trunc.Solutions = [][]byte{sol.Solutions[0][:2], sol.Solutions[1]}
+	if _, err := eng.Verify(flow(), trunc); !errors.Is(err, puzzle.ErrWrongLength) {
+		t.Errorf("Verify(trunc) = %v, want ErrWrongLength", err)
+	}
+}
+
+func TestRealEngineRoundTrip(t *testing.T) {
+	p := puzzle.Params{K: 1, M: 16, L: 32}
+	eng := Real{Is: testIssuer(t, p)}
+	ch := eng.Issue(flow())
+	sol, _, err := puzzle.Solve(ch)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if _, err := eng.Verify(flow(), sol); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	// Real engine must NOT accept sim solutions.
+	if _, err := eng.Verify(flow(), SimSolution(ch)); err == nil {
+		t.Error("Real engine accepted a sim solution")
+	}
+}
+
+func TestSimSolutionBitsDeterministic(t *testing.T) {
+	p := puzzle.Params{K: 1, M: 8, L: 64}
+	pre := make([]byte, 8)
+	a := SimSolutionBits(pre, p, 1)
+	b := SimSolutionBits(pre, p, 1)
+	c := SimSolutionBits(pre, p, 2)
+	if string(a) != string(b) {
+		t.Error("SimSolutionBits not deterministic")
+	}
+	if string(a) == string(c) {
+		t.Error("SimSolutionBits ignores index")
+	}
+	if len(a) != p.SolutionBytes() {
+		t.Errorf("len = %d, want %d", len(a), p.SolutionBytes())
+	}
+}

@@ -1,0 +1,143 @@
+package serversim
+
+import (
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+)
+
+// establish records a completed handshake, placing it on the accept queue
+// and dispatching workers.
+func (s *Server) establish(peer tcpkit.PeerKey, mss uint16, solvedPuzzle bool) {
+	e := &tcpkit.Established{
+		Peer:         peer,
+		MSS:          mss,
+		SolvedPuzzle: solvedPuzzle,
+		CreatedAt:    s.eng.Now(),
+	}
+	if !s.acceptQ.Push(e) {
+		// Full or duplicate peer; the handshake is silently lost.
+		s.metrics.AcceptOverflow++
+		return
+	}
+	if mss == 0 {
+		mss = 536
+	}
+	s.conns[peer] = &conn{peer: peer, mss: mss, createdAt: s.eng.Now()}
+	s.metrics.recordEstablished(s.eng.Now(), peer)
+	s.dispatchWorkers()
+}
+
+// dispatchWorkers lets free workers accept queued connections.
+func (s *Server) dispatchWorkers() {
+	for s.workersFree > 0 {
+		e, ok := s.acceptQ.Pop()
+		if !ok {
+			return
+		}
+		c, live := s.conns[e.Peer]
+		if !live {
+			continue // torn down while queued
+		}
+		s.workersFree--
+		c.accepted = true
+		c.hasWorker = true
+		if c.pendingReq > 0 {
+			s.serve(c)
+			continue
+		}
+		// No request yet: the worker waits up to the idle timeout — the
+		// resource a connection flood pins. Jitter desynchronises the
+		// worker pool so releases do not arrive in lockstep waves.
+		idle := time.Duration((0.75 + 0.5*s.rnd.Float64()) * float64(s.cfg.IdleTimeout))
+		c.idleEv = s.eng.Schedule(idle, func() {
+			s.metrics.IdleTimeouts++
+			s.closeConn(c, true)
+		})
+	}
+}
+
+// onData processes application data from an established peer.
+func (s *Server) onData(c *conn, seg tcpkit.Segment) {
+	if seg.PayloadLen <= 0 {
+		return // pure ACK
+	}
+	if c.pendingReq > 0 {
+		return // duplicate request; the first one wins
+	}
+	want := seg.Meta
+	if want <= 0 {
+		want = 1
+	}
+	c.pendingReq = want
+	if c.hasWorker {
+		if c.idleEv != nil {
+			c.idleEv.Cancel()
+			c.idleEv = nil
+		}
+		s.serve(c)
+	}
+	// Otherwise the request is buffered until a worker accepts the
+	// connection (dispatchWorkers will call serve).
+}
+
+// serve runs the application: after an exponential service time, the
+// response of c.pendingReq bytes is written out in MSS-sized segments and
+// the connection closes (the paper's gettext/size exchange).
+func (s *Server) serve(c *conn) {
+	service := time.Duration(s.rnd.ExpFloat64() * float64(s.cfg.ServiceTime))
+	s.chargeHashes(s.cfg.PerRequestHashEquiv)
+	respBytes := c.pendingReq
+	s.eng.Schedule(service, func() {
+		if _, live := s.conns[c.peer]; !live {
+			return
+		}
+		s.metrics.RequestsServed++
+		s.sendResponse(c, respBytes)
+		s.closeConn(c, true)
+	})
+}
+
+// sendResponse writes size bytes to the peer as MSS-sized segments. The
+// access link model paces actual delivery.
+func (s *Server) sendResponse(c *conn, size int) {
+	mss := int(c.mss)
+	if mss <= 0 || mss > s.cfg.MSS {
+		mss = s.cfg.MSS
+	}
+	for off := 0; off < size; off += mss {
+		n := size - off
+		if n > mss {
+			n = mss
+		}
+		s.send(tcpkit.Segment{
+			Src: s.cfg.Addr, Dst: c.peer.IP,
+			SrcPort: s.cfg.Port, DstPort: c.peer.Port,
+			Flags:      tcpkit.FlagACK | tcpkit.FlagPSH,
+			PayloadLen: n,
+		})
+	}
+}
+
+// closeConn tears down a connection, releasing its worker if held.
+func (s *Server) closeConn(c *conn, releaseWorker bool) {
+	if _, live := s.conns[c.peer]; !live {
+		return
+	}
+	delete(s.conns, c.peer)
+	if c.idleEv != nil {
+		c.idleEv.Cancel()
+		c.idleEv = nil
+	}
+	if c.hasWorker && releaseWorker {
+		s.workersFree++
+		c.hasWorker = false
+		s.dispatchWorkers()
+	}
+}
+
+// OpenConns reports the number of live established connections.
+func (s *Server) OpenConns() int { return len(s.conns) }
+
+// FreeWorkers reports the idle worker count.
+func (s *Server) FreeWorkers() int { return s.workersFree }

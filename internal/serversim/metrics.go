@@ -1,0 +1,103 @@
+package serversim
+
+import (
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/stats"
+	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+)
+
+// Metrics collects the server-side measurements the paper's figures draw
+// on. Counters are cumulative; series are bucketed by the configured metric
+// bucket.
+type Metrics struct {
+	// BytesIn and BytesOut feed the server throughput plots (Figs. 7, 8).
+	BytesIn  *stats.Series
+	BytesOut *stats.Series
+
+	// ListenLen and AcceptLen trace queue occupancy (Fig. 10).
+	ListenLen stats.Gauge
+	AcceptLen stats.Gauge
+	// DifficultyM traces the adaptive controller's difficulty setting.
+	DifficultyM stats.Gauge
+
+	// ChallengesSent / PlainSynAcks / CookieSynAcks reproduce the Fig. 8
+	// sparkline distinguishing challenged from unchallenged SYN-ACKs.
+	ChallengesSent *stats.Series
+	PlainSynAcks   *stats.Series
+	CookieSynAcks  *stats.Series
+
+	// Established tracks completed handshakes per second, and
+	// EstablishedBySrc the same per source address (Figs. 11, 13, 14).
+	Established      *stats.Series
+	EstablishedBySrc map[[4]byte]*stats.Series
+
+	SYNsReceived        uint64
+	SYNsDropped         uint64
+	AcceptOverflow      uint64
+	CookieFailures      uint64
+	SolutionsVerified   uint64
+	SolutionInvalid     uint64
+	SolutionMalformed   uint64
+	AcksWithoutSolution uint64
+	DeceptionIgnored    uint64
+	ReplaysBlocked      uint64
+	EncodeFailures      uint64
+	RSTsSent            uint64
+	RequestsServed      uint64
+	IdleTimeouts        uint64
+
+	bucket time.Duration
+}
+
+func newMetrics(bucket time.Duration) *Metrics {
+	return &Metrics{
+		BytesIn:          stats.NewSeries(bucket),
+		BytesOut:         stats.NewSeries(bucket),
+		ChallengesSent:   stats.NewSeries(bucket),
+		PlainSynAcks:     stats.NewSeries(bucket),
+		CookieSynAcks:    stats.NewSeries(bucket),
+		Established:      stats.NewSeries(bucket),
+		EstablishedBySrc: make(map[[4]byte]*stats.Series),
+		bucket:           bucket,
+	}
+}
+
+func (m *Metrics) recordEstablished(at time.Duration, peer tcpkit.PeerKey) {
+	m.Established.Add(at, 1)
+	srcSeries, ok := m.EstablishedBySrc[peer.IP]
+	if !ok {
+		srcSeries = stats.NewSeries(m.bucket)
+		m.EstablishedBySrc[peer.IP] = srcSeries
+	}
+	srcSeries.Add(at, 1)
+}
+
+// EstablishedRateFor sums completed connections per second over sources in
+// the given set — the "effective attack rate" of Figs. 11/13/14 when the
+// set is the botnet.
+func (m *Metrics) EstablishedRateFor(srcs [][4]byte, until time.Duration) []float64 {
+	total := stats.NewSeries(m.bucket)
+	for _, src := range srcs {
+		s, ok := m.EstablishedBySrc[src]
+		if !ok {
+			continue
+		}
+		for i, v := range s.Values(until) {
+			total.Add(time.Duration(i)*m.bucket, v)
+		}
+	}
+	return total.RatePerSecond(until)
+}
+
+// EstablishedTotalFor counts completed connections for the given sources
+// over [from, to).
+func (m *Metrics) EstablishedTotalFor(srcs [][4]byte, from, to time.Duration) float64 {
+	var sum float64
+	for _, src := range srcs {
+		if s, ok := m.EstablishedBySrc[src]; ok {
+			sum += s.SumRange(from, to)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,182 @@
+package serversim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
+	"github.com/tcppuzzles/tcppuzzles/internal/netsim"
+	"github.com/tcppuzzles/tcppuzzles/internal/pzengine"
+	"github.com/tcppuzzles/tcppuzzles/internal/syncache"
+	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/syncookie"
+)
+
+// conn is a server-side established connection.
+type conn struct {
+	peer       tcpkit.PeerKey
+	mss        uint16
+	accepted   bool
+	hasWorker  bool
+	pendingReq int // requested response bytes, 0 if no request yet
+	idleEv     *netsim.Event
+	createdAt  time.Duration
+}
+
+// Server is the simulated protected server node.
+type Server struct {
+	cfg Config
+	eng *netsim.Engine
+	net *netsim.Network
+	rnd *rand.Rand
+
+	issuer *puzzle.Issuer
+	engine pzengine.Engine
+	jar    *syncookie.Jar
+	cache  *syncache.Cache
+
+	listenQ *tcpkit.ListenQueue
+	acceptQ *tcpkit.AcceptQueue
+	isns    *tcpkit.ISNSource
+	cpu     *cpumodel.CPU
+
+	workersFree   int
+	conns         map[tcpkit.PeerKey]*conn
+	protLatched   bool
+	latchLoadedAt time.Duration
+	baselineM     uint8
+
+	metrics *Metrics
+}
+
+// New builds a server on the given engine and network and attaches it.
+func New(eng *netsim.Engine, network *netsim.Network, link netsim.LinkConfig, cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	if err := cfg.PuzzleParams.Validate(); err != nil && cfg.Protection == ProtectionPuzzles {
+		return nil, fmt.Errorf("serversim: %w", err)
+	}
+	s := &Server{
+		cfg:         cfg,
+		eng:         eng,
+		net:         network,
+		rnd:         rand.New(rand.NewSource(cfg.Seed)),
+		isns:        tcpkit.NewISNSource(cfg.Seed + 1),
+		cpu:         cpumodel.NewCPU(cfg.Device, cfg.MetricBucket),
+		workersFree: max(cfg.Workers, 0),
+		conns:       make(map[tcpkit.PeerKey]*conn),
+		metrics:     newMetrics(cfg.MetricBucket),
+	}
+	simClock := func() time.Time { return time.Unix(0, 0).Add(eng.Now()) }
+	issuer, err := puzzle.NewIssuer(
+		puzzle.WithParams(cfg.PuzzleParams),
+		puzzle.WithMaxAge(cfg.PuzzleMaxAge),
+		puzzle.WithClock(simClock),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("serversim: issuer: %w", err)
+	}
+	s.issuer = issuer
+	if cfg.SimulatedCrypto {
+		s.engine = pzengine.Sim{Is: issuer}
+	} else {
+		s.engine = pzengine.Real{Is: issuer}
+	}
+	s.jar = syncookie.New([]byte{byte(cfg.Seed)}, syncookie.WithClock(simClock))
+	s.cache = syncache.New(cfg.Backlog*4, syncache.RejectNew)
+	s.listenQ = tcpkit.NewListenQueue(cfg.Backlog, func(n int) {
+		s.metrics.ListenLen.Set(eng.Now(), float64(n))
+	})
+	s.acceptQ = tcpkit.NewAcceptQueue(cfg.AcceptBacklog, func(n int) {
+		s.metrics.AcceptLen.Set(eng.Now(), float64(n))
+	})
+	if err := network.Attach(s, link); err != nil {
+		return nil, fmt.Errorf("serversim: %w", err)
+	}
+	s.scheduleSweep()
+	if cfg.AdaptiveDifficulty {
+		s.baselineM = cfg.PuzzleParams.M
+		s.scheduleAdapt()
+	}
+	return s, nil
+}
+
+// scheduleAdapt runs the closed-loop difficulty controller: raise m while
+// the latched protection is still losing accept-queue ground, decay back to
+// the baseline once the attack subsides.
+func (s *Server) scheduleAdapt() {
+	s.eng.Schedule(s.cfg.AdaptInterval, func() {
+		p := s.engine.Params()
+		switch {
+		case s.protLatched && s.acceptQ.Len() >= high(s.cfg.AcceptBacklog) && p.M < s.cfg.AdaptMaxM:
+			p.M++
+			if err := s.engine.SetParams(p); err == nil {
+				s.metrics.DifficultyM.Set(s.eng.Now(), float64(p.M))
+			}
+		case !s.protLatched && p.M > s.baselineM:
+			p.M--
+			if err := s.engine.SetParams(p); err == nil {
+				s.metrics.DifficultyM.Set(s.eng.Now(), float64(p.M))
+			}
+		}
+		s.scheduleAdapt()
+	})
+}
+
+// Addr implements netsim.Node.
+func (s *Server) Addr() netsim.Addr { return s.cfg.Addr }
+
+// Config returns the server configuration (after defaulting).
+func (s *Server) Config() Config { return s.cfg }
+
+// Metrics exposes the measurement state.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// CPU exposes the server CPU model (utilisation plots).
+func (s *Server) CPU() *cpumodel.CPU { return s.cpu }
+
+// Issuer exposes the puzzle issuer for runtime retuning (sysctl analogue).
+func (s *Server) Issuer() *puzzle.Issuer { return s.issuer }
+
+// ListenLen and AcceptLen report current queue occupancy.
+func (s *Server) ListenLen() int { return s.listenQ.Len() }
+
+// AcceptLen reports current accept-queue occupancy.
+func (s *Server) AcceptLen() int { return s.acceptQ.Len() }
+
+// scheduleSweep expires half-open state once per second.
+func (s *Server) scheduleSweep() {
+	s.eng.Schedule(time.Second, func() {
+		s.listenQ.Expire(s.eng.Now())
+		s.cache.Expire(s.eng.Now())
+		s.scheduleSweep()
+	})
+}
+
+// Handle implements netsim.Node.
+func (s *Server) Handle(seg tcpkit.Segment) {
+	if seg.DstPort != s.cfg.Port {
+		return
+	}
+	s.metrics.BytesIn.Add(s.eng.Now(), float64(seg.WireSize()))
+	switch {
+	case seg.Flags.Has(tcpkit.FlagSYN) && !seg.Flags.Has(tcpkit.FlagACK):
+		s.onSYN(seg)
+	case seg.Flags.Has(tcpkit.FlagRST):
+		s.onRST(seg)
+	case seg.Flags.Has(tcpkit.FlagACK):
+		s.onACK(seg)
+	}
+}
+
+// send transmits a segment from the server, accounting outgoing bytes.
+func (s *Server) send(seg tcpkit.Segment) {
+	s.metrics.BytesOut.Add(s.eng.Now(), float64(seg.WireSize()))
+	s.net.Send(seg)
+}
+
+// chargeHashes runs hash work on the server CPU.
+func (s *Server) chargeHashes(n float64) {
+	s.cpu.Charge(s.eng.Now(), n)
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSeriesAddAndValues(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Add(0, 1)
+	s.Add(500*time.Millisecond, 2)
+	s.Add(1500*time.Millisecond, 4)
+	s.Add(-time.Second, 8) // clamped to bucket 0
+	got := s.Values(2 * time.Second)
+	want := []float64{11, 4, 0}
+	if len(got) != len(want) {
+		t.Fatalf("Values = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeriesRates(t *testing.T) {
+	s := NewSeries(500 * time.Millisecond)
+	s.Add(0, 100) // 100 in half a second → 200/s
+	rates := s.RatePerSecond(500 * time.Millisecond)
+	if rates[0] != 200 {
+		t.Errorf("rate = %v, want 200", rates[0])
+	}
+	// 1e6 bytes in one bucket of 0.5s → 2e6 B/s → 16 Mbps.
+	b := NewSeries(500 * time.Millisecond)
+	b.Add(0, 1e6)
+	if got := b.Mbps(500 * time.Millisecond)[0]; math.Abs(got-16) > 1e-9 {
+		t.Errorf("Mbps = %v, want 16", got)
+	}
+}
+
+func TestSeriesAddSpan(t *testing.T) {
+	s := NewSeries(time.Second)
+	// 3 units of busy time spread across [0.5s, 3.5s): 1/6 in each of the
+	// partial end buckets, 1/3 in the two full middle buckets.
+	s.AddSpan(500*time.Millisecond, 3500*time.Millisecond, 3)
+	got := s.Values(4 * time.Second)
+	want := []float64{0.5, 1, 1, 0.5, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if math.Abs(s.Sum()-3) > 1e-9 {
+		t.Errorf("Sum = %v, want 3", s.Sum())
+	}
+}
+
+func TestSeriesSumRange(t *testing.T) {
+	s := NewSeries(time.Second)
+	for i := 0; i < 10; i++ {
+		s.Add(time.Duration(i)*time.Second, 1)
+	}
+	if got := s.SumRange(2*time.Second, 5*time.Second); got != 3 {
+		t.Errorf("SumRange = %v, want 3", got)
+	}
+	if got := s.SumRange(0, 100*time.Second); got != 10 {
+		t.Errorf("SumRange(all) = %v, want 10", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(time.Second, 5)
+	g.Set(3*time.Second, 2)
+	g.Set(2*time.Second, 99) // out of order: dropped
+	if got := g.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0", got)
+	}
+	if got := g.At(time.Second); got != 5 {
+		t.Errorf("At(1s) = %v, want 5", got)
+	}
+	if got := g.At(2500 * time.Millisecond); got != 5 {
+		t.Errorf("At(2.5s) = %v, want 5", got)
+	}
+	if got := g.At(10 * time.Second); got != 2 {
+		t.Errorf("At(10s) = %v, want 2", got)
+	}
+	if got := g.Max(); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+	samples := g.Sampled(time.Second, 4*time.Second)
+	want := []float64{0, 5, 5, 2}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Errorf("Sampled[%d] = %v, want %v", i, samples[i], want[i])
+		}
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{4, 1, 3, 2})
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %v", got)
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Errorf("At(2) = %v, want 0.5", got)
+	}
+	if got := c.At(4); got != 1 {
+		t.Errorf("At(4) = %v, want 1", got)
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", got)
+	}
+	if got := c.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v, want 4", got)
+	}
+	if got := c.Mean(); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	c := NewCDF(nil)
+	if got := c.At(1); got != 0 {
+		t.Errorf("empty At = %v", got)
+	}
+	if !math.IsNaN(c.Quantile(0.5)) || !math.IsNaN(c.Mean()) {
+		t.Error("empty quantile/mean not NaN")
+	}
+}
+
+func TestBoxOf(t *testing.T) {
+	b := BoxOf([]float64{1, 2, 3, 4, 5})
+	if b.Mean != 3 || b.Min != 1 || b.Max != 5 || b.Med != 3 {
+		t.Errorf("BoxOf = %+v", b)
+	}
+	if math.Abs(b.Std-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("Std = %v, want √2", b.Std)
+	}
+	if b.N != 5 {
+		t.Errorf("N = %d", b.N)
+	}
+	empty := BoxOf(nil)
+	if !math.IsNaN(empty.Mean) {
+		t.Error("empty box mean not NaN")
+	}
+}
+
+// Property: a CDF is monotone non-decreasing and bounded in [0, 1].
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(samples []float64, a, b float64) bool {
+		c := NewCDF(samples)
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		fa, fb := c.At(lo), c.At(hi)
+		return fa >= 0 && fb <= 1 && fa <= fb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Series.AddSpan conserves mass.
+func TestAddSpanConservesMass(t *testing.T) {
+	f := func(fromMs, spanMs uint16, v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		s := NewSeries(time.Second)
+		from := time.Duration(fromMs) * time.Millisecond
+		to := from + time.Duration(spanMs%5000+1)*time.Millisecond
+		s.AddSpan(from, to, v)
+		return math.Abs(s.Sum()-v) <= 1e-6*math.Abs(v)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package syncache implements the SYN cache baseline (Lemon 2002, paper
+// §2.1): a bounded table of partial half-open connection state that delays
+// full TCB allocation until the handshake completes. As the paper observes,
+// the cache contains small floods but degrades to backlog-full behaviour
+// once an attack overruns its capacity.
+package syncache
+
+import (
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+)
+
+// Entry is the partial state kept per half-open connection — substantially
+// smaller than a full TCB.
+type Entry struct {
+	Peer      tcpkit.PeerKey
+	ClientISN uint32
+	ServerISN uint32
+	MSS       uint16
+	CreatedAt time.Duration
+	ExpiresAt time.Duration
+}
+
+// EvictPolicy selects behaviour when the cache is full.
+type EvictPolicy int
+
+// Eviction policies.
+const (
+	// RejectNew drops the incoming SYN when full (the backlog-like default
+	// the paper describes).
+	RejectNew EvictPolicy = iota + 1
+	// DropOldest evicts the oldest entry to admit the new SYN.
+	DropOldest
+)
+
+// Cache is a bounded SYN cache. It is not safe for concurrent use; the
+// simulator is single-threaded.
+type Cache struct {
+	capacity int
+	policy   EvictPolicy
+	entries  map[tcpkit.PeerKey]*Entry
+	order    []tcpkit.PeerKey // insertion order for DropOldest
+	// Evicted counts entries discarded by DropOldest.
+	Evicted uint64
+	// RejectedFull counts SYNs refused by RejectNew.
+	RejectedFull uint64
+}
+
+// New returns a cache with the given capacity and policy.
+func New(capacity int, policy EvictPolicy) *Cache {
+	if policy == 0 {
+		policy = RejectNew
+	}
+	return &Cache{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[tcpkit.PeerKey]*Entry, capacity),
+	}
+}
+
+// Len returns the number of cached half-open connections.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// Cap returns the capacity.
+func (c *Cache) Cap() int { return c.capacity }
+
+// Full reports whether the cache is at capacity.
+func (c *Cache) Full() bool { return len(c.entries) >= c.capacity }
+
+// Add inserts partial state for a SYN. Duplicate peers refresh nothing and
+// report success.
+func (c *Cache) Add(e *Entry) bool {
+	if _, ok := c.entries[e.Peer]; ok {
+		return true
+	}
+	if c.Full() {
+		switch c.policy {
+		case DropOldest:
+			c.evictOldest()
+		default:
+			c.RejectedFull++
+			return false
+		}
+	}
+	c.entries[e.Peer] = e
+	c.order = append(c.order, e.Peer)
+	return true
+}
+
+func (c *Cache) evictOldest() {
+	for len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		if _, ok := c.entries[victim]; ok {
+			delete(c.entries, victim)
+			c.Evicted++
+			return
+		}
+	}
+}
+
+// Take removes and returns the entry for a peer (handshake completion).
+func (c *Cache) Take(peer tcpkit.PeerKey) (*Entry, bool) {
+	e, ok := c.entries[peer]
+	if !ok {
+		return nil, false
+	}
+	delete(c.entries, peer)
+	return e, true
+}
+
+// Expire removes entries whose ExpiresAt is at or before now.
+func (c *Cache) Expire(now time.Duration) int {
+	n := 0
+	for k, e := range c.entries {
+		if e.ExpiresAt <= now {
+			delete(c.entries, k)
+			n++
+		}
+	}
+	return n
+}

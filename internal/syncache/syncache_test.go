@@ -1,0 +1,104 @@
+package syncache
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+)
+
+func peer(i int) tcpkit.PeerKey {
+	return tcpkit.PeerKey{IP: [4]byte{10, 1, byte(i >> 8), byte(i)}, Port: 2000}
+}
+
+func TestAddTake(t *testing.T) {
+	c := New(4, RejectNew)
+	if !c.Add(&Entry{Peer: peer(1), ClientISN: 7}) {
+		t.Fatal("Add failed")
+	}
+	e, ok := c.Take(peer(1))
+	if !ok || e.ClientISN != 7 {
+		t.Fatalf("Take = %+v, %v", e, ok)
+	}
+	if _, ok := c.Take(peer(1)); ok {
+		t.Error("Take twice succeeded")
+	}
+}
+
+func TestRejectNewWhenFull(t *testing.T) {
+	c := New(2, RejectNew)
+	c.Add(&Entry{Peer: peer(1)})
+	c.Add(&Entry{Peer: peer(2)})
+	if c.Add(&Entry{Peer: peer(3)}) {
+		t.Error("Add succeeded beyond capacity")
+	}
+	if c.RejectedFull != 1 {
+		t.Errorf("RejectedFull = %d, want 1", c.RejectedFull)
+	}
+	if !c.Full() {
+		t.Error("not full at capacity")
+	}
+}
+
+func TestDropOldestWhenFull(t *testing.T) {
+	c := New(2, DropOldest)
+	c.Add(&Entry{Peer: peer(1)})
+	c.Add(&Entry{Peer: peer(2)})
+	if !c.Add(&Entry{Peer: peer(3)}) {
+		t.Fatal("DropOldest Add failed")
+	}
+	if c.Evicted != 1 {
+		t.Errorf("Evicted = %d, want 1", c.Evicted)
+	}
+	if _, ok := c.Take(peer(1)); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := c.Take(peer(3)); !ok {
+		t.Error("new entry missing after eviction")
+	}
+}
+
+func TestDuplicatePeer(t *testing.T) {
+	c := New(2, RejectNew)
+	c.Add(&Entry{Peer: peer(1), ClientISN: 1})
+	if !c.Add(&Entry{Peer: peer(1), ClientISN: 2}) {
+		t.Error("duplicate Add reported failure")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+	e, _ := c.Take(peer(1))
+	if e.ClientISN != 1 {
+		t.Errorf("duplicate overwrote original: ISN = %d", e.ClientISN)
+	}
+}
+
+func TestExpire(t *testing.T) {
+	c := New(10, RejectNew)
+	for i := 0; i < 5; i++ {
+		c.Add(&Entry{Peer: peer(i), ExpiresAt: time.Duration(i+1) * time.Second})
+	}
+	if n := c.Expire(3 * time.Second); n != 3 {
+		t.Errorf("Expire = %d, want 3", n)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestEvictionSkipsTakenEntries(t *testing.T) {
+	c := New(2, DropOldest)
+	c.Add(&Entry{Peer: peer(1)})
+	c.Add(&Entry{Peer: peer(2)})
+	c.Take(peer(1)) // order slice still references peer(1)
+	c.Add(&Entry{Peer: peer(3)})
+	// Cache now holds 2 and 3; adding a fourth must evict 2, not the
+	// stale 1.
+	c.Add(&Entry{Peer: peer(4)})
+	if _, ok := c.Take(peer(3)); !ok {
+		t.Error("entry 3 missing")
+	}
+	if _, ok := c.Take(peer(4)); !ok {
+		t.Error("entry 4 missing")
+	}
+}

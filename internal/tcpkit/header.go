@@ -1,0 +1,109 @@
+package tcpkit
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrHeaderTooShort reports a buffer smaller than a TCP header.
+	ErrHeaderTooShort = errors.New("tcpkit: buffer shorter than TCP header")
+	// ErrBadDataOffset reports an invalid data-offset field.
+	ErrBadDataOffset = errors.New("tcpkit: invalid data offset")
+	// ErrBadChecksum reports a checksum mismatch.
+	ErrBadChecksum = errors.New("tcpkit: checksum mismatch")
+	// ErrOptionsTooLong reports options exceeding the 40-byte limit.
+	ErrOptionsTooLong = errors.New("tcpkit: options exceed 40 bytes")
+	// ErrOptionsUnaligned reports options not padded to 32 bits.
+	ErrOptionsUnaligned = errors.New("tcpkit: options not 32-bit aligned")
+)
+
+// Header is a decoded TCP header (without payload).
+type Header struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            Flags
+	Window           uint16
+	Urgent           uint16
+	Options          []byte
+}
+
+// Marshal encodes the header, computing the checksum over the IPv4
+// pseudo-header for the given addresses and payload.
+func (h Header) Marshal(src, dst [4]byte, payload []byte) ([]byte, error) {
+	if len(h.Options) > 40 {
+		return nil, fmt.Errorf("tcpkit: %d option bytes: %w", len(h.Options), ErrOptionsTooLong)
+	}
+	if len(h.Options)%4 != 0 {
+		return nil, fmt.Errorf("tcpkit: %d option bytes: %w", len(h.Options), ErrOptionsUnaligned)
+	}
+	hdrLen := TCPHeaderLen + len(h.Options)
+	buf := make([]byte, hdrLen, hdrLen+len(payload))
+	binary.BigEndian.PutUint16(buf[0:], h.SrcPort)
+	binary.BigEndian.PutUint16(buf[2:], h.DstPort)
+	binary.BigEndian.PutUint32(buf[4:], h.Seq)
+	binary.BigEndian.PutUint32(buf[8:], h.Ack)
+	buf[12] = uint8(hdrLen/4) << 4
+	buf[13] = uint8(h.Flags)
+	binary.BigEndian.PutUint16(buf[14:], h.Window)
+	binary.BigEndian.PutUint16(buf[18:], h.Urgent)
+	copy(buf[20:], h.Options)
+	buf = append(buf, payload...)
+	sum := Checksum(src, dst, buf)
+	binary.BigEndian.PutUint16(buf[16:], sum)
+	return buf, nil
+}
+
+// Unmarshal decodes a TCP header from packet bytes, verifying the checksum
+// against the pseudo-header. It returns the header and the payload slice
+// (aliasing pkt).
+func Unmarshal(src, dst [4]byte, pkt []byte) (Header, []byte, error) {
+	if len(pkt) < TCPHeaderLen {
+		return Header{}, nil, fmt.Errorf("tcpkit: %d bytes: %w", len(pkt), ErrHeaderTooShort)
+	}
+	dataOff := int(pkt[12]>>4) * 4
+	if dataOff < TCPHeaderLen || dataOff > len(pkt) {
+		return Header{}, nil, fmt.Errorf("tcpkit: data offset %d: %w", dataOff, ErrBadDataOffset)
+	}
+	if got := Checksum(src, dst, pkt); got != 0 {
+		return Header{}, nil, fmt.Errorf("tcpkit: residual 0x%04x: %w", got, ErrBadChecksum)
+	}
+	h := Header{
+		SrcPort: binary.BigEndian.Uint16(pkt[0:]),
+		DstPort: binary.BigEndian.Uint16(pkt[2:]),
+		Seq:     binary.BigEndian.Uint32(pkt[4:]),
+		Ack:     binary.BigEndian.Uint32(pkt[8:]),
+		Flags:   Flags(pkt[13] & 0x3f),
+		Window:  binary.BigEndian.Uint16(pkt[14:]),
+		Urgent:  binary.BigEndian.Uint16(pkt[18:]),
+	}
+	if dataOff > TCPHeaderLen {
+		h.Options = append([]byte(nil), pkt[TCPHeaderLen:dataOff]...)
+	}
+	return h, pkt[dataOff:], nil
+}
+
+// Checksum computes the Internet checksum of a TCP packet (header+payload)
+// over the IPv4 pseudo-header. Computing it over a packet whose checksum
+// field is already filled yields zero for an intact packet.
+func Checksum(src, dst [4]byte, pkt []byte) uint16 {
+	var sum uint32
+	add16 := func(v uint16) { sum += uint32(v) }
+	add16(binary.BigEndian.Uint16(src[0:]))
+	add16(binary.BigEndian.Uint16(src[2:]))
+	add16(binary.BigEndian.Uint16(dst[0:]))
+	add16(binary.BigEndian.Uint16(dst[2:]))
+	add16(6) // protocol TCP
+	add16(uint16(len(pkt)))
+	for i := 0; i+1 < len(pkt); i += 2 {
+		add16(binary.BigEndian.Uint16(pkt[i:]))
+	}
+	if len(pkt)%2 == 1 {
+		add16(uint16(pkt[len(pkt)-1]) << 8)
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

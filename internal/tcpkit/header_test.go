@@ -1,0 +1,168 @@
+package tcpkit
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	testSrc = [4]byte{192, 168, 0, 1}
+	testDst = [4]byte{10, 0, 0, 1}
+)
+
+func TestHeaderMarshalUnmarshalRoundTrip(t *testing.T) {
+	h := Header{
+		SrcPort: 43210,
+		DstPort: 80,
+		Seq:     0xdeadbeef,
+		Ack:     0x01020304,
+		Flags:   FlagSYN | FlagACK,
+		Window:  65535,
+		Options: []byte{2, 4, 5, 180}, // MSS 1460
+	}
+	payload := []byte("hello world")
+	pkt, err := h.Marshal(testSrc, testDst, payload)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, gotPayload, err := Unmarshal(testSrc, testDst, pkt)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.SrcPort != h.SrcPort || got.DstPort != h.DstPort ||
+		got.Seq != h.Seq || got.Ack != h.Ack || got.Flags != h.Flags ||
+		got.Window != h.Window {
+		t.Errorf("header = %+v, want %+v", got, h)
+	}
+	if !bytes.Equal(got.Options, h.Options) {
+		t.Errorf("options = %x, want %x", got.Options, h.Options)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Errorf("payload = %q, want %q", gotPayload, payload)
+	}
+}
+
+func TestUnmarshalDetectsCorruption(t *testing.T) {
+	h := Header{SrcPort: 1, DstPort: 2, Flags: FlagSYN}
+	pkt, err := h.Marshal(testSrc, testDst, []byte("data"))
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	for _, bit := range []int{0, 13, 50, len(pkt)*8 - 1} {
+		mut := bytes.Clone(pkt)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if _, _, err := Unmarshal(testSrc, testDst, mut); !errors.Is(err, ErrBadChecksum) {
+			t.Errorf("bit %d flip: error = %v, want ErrBadChecksum", bit, err)
+		}
+	}
+}
+
+func TestUnmarshalWrongPseudoHeader(t *testing.T) {
+	h := Header{SrcPort: 1, DstPort: 2}
+	pkt, err := h.Marshal(testSrc, testDst, nil)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	other := testSrc
+	other[3]++
+	if _, _, err := Unmarshal(other, testDst, pkt); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("wrong pseudo-header error = %v, want ErrBadChecksum", err)
+	}
+}
+
+func TestUnmarshalRejectsShortAndBadOffset(t *testing.T) {
+	if _, _, err := Unmarshal(testSrc, testDst, make([]byte, 10)); !errors.Is(err, ErrHeaderTooShort) {
+		t.Errorf("short error = %v", err)
+	}
+	pkt := make([]byte, 20)
+	pkt[12] = 3 << 4 // offset 12 < 20
+	if _, _, err := Unmarshal(testSrc, testDst, pkt); !errors.Is(err, ErrBadDataOffset) {
+		t.Errorf("bad offset error = %v", err)
+	}
+	pkt[12] = 15 << 4 // offset 60 > len
+	if _, _, err := Unmarshal(testSrc, testDst, pkt); !errors.Is(err, ErrBadDataOffset) {
+		t.Errorf("overlong offset error = %v", err)
+	}
+}
+
+func TestMarshalRejectsBadOptions(t *testing.T) {
+	h := Header{Options: make([]byte, 44)}
+	if _, err := h.Marshal(testSrc, testDst, nil); !errors.Is(err, ErrOptionsTooLong) {
+		t.Errorf("long options error = %v", err)
+	}
+	h = Header{Options: make([]byte, 3)}
+	if _, err := h.Marshal(testSrc, testDst, nil); !errors.Is(err, ErrOptionsUnaligned) {
+		t.Errorf("unaligned options error = %v", err)
+	}
+}
+
+// Property: marshal→unmarshal round-trips arbitrary headers and payloads.
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, flags uint8, win uint16, payload []byte, optWords uint8) bool {
+		h := Header{
+			SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack,
+			Flags: Flags(flags & 0x3f), Window: win,
+			Options: bytes.Repeat([]byte{1}, int(optWords%11)*4),
+		}
+		pkt, err := h.Marshal(testSrc, testDst, payload)
+		if err != nil {
+			return false
+		}
+		got, gotPayload, err := Unmarshal(testSrc, testDst, pkt)
+		if err != nil {
+			return false
+		}
+		return got.SrcPort == h.SrcPort && got.DstPort == h.DstPort &&
+			got.Seq == h.Seq && got.Ack == h.Ack && got.Flags == h.Flags &&
+			got.Window == h.Window && bytes.Equal(gotPayload, payload) &&
+			bytes.Equal(got.Options, h.Options)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	if got := (FlagSYN | FlagACK).String(); got != "SYN|ACK" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Flags(0).String(); got != "none" {
+		t.Errorf("String(0) = %q", got)
+	}
+}
+
+func TestSegmentWireSizeAndFlow(t *testing.T) {
+	s := Segment{
+		Src: testSrc, Dst: testDst, SrcPort: 7, DstPort: 8,
+		Seq: 99, Options: make([]byte, 12), PayloadLen: 100,
+	}
+	if got := s.WireSize(); got != 20+20+12+100 {
+		t.Errorf("WireSize = %d", got)
+	}
+	f := s.Flow()
+	if f.SrcIP != testSrc || f.DstIP != testDst || f.SrcPort != 7 || f.DstPort != 8 || f.ISN != 99 {
+		t.Errorf("Flow = %+v", f)
+	}
+}
+
+func TestISNSourceDeterministic(t *testing.T) {
+	a, b := NewISNSource(1), NewISNSource(1)
+	for i := 0; i < 10; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewISNSource(2)
+	same := true
+	a2 := NewISNSource(1)
+	for i := 0; i < 10; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}

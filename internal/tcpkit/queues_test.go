@@ -1,0 +1,133 @@
+package tcpkit
+
+import (
+	"testing"
+	"time"
+)
+
+func peer(i int) PeerKey {
+	return PeerKey{IP: [4]byte{10, 0, byte(i >> 8), byte(i)}, Port: 1000}
+}
+
+func TestListenQueueCapacity(t *testing.T) {
+	var lastLen int
+	q := NewListenQueue(3, func(n int) { lastLen = n })
+	for i := 0; i < 3; i++ {
+		if !q.Add(&HalfOpen{Peer: peer(i)}) {
+			t.Fatalf("Add(%d) failed below capacity", i)
+		}
+	}
+	if !q.Full() {
+		t.Error("queue not full at capacity")
+	}
+	if q.Add(&HalfOpen{Peer: peer(99)}) {
+		t.Error("Add succeeded beyond backlog")
+	}
+	if lastLen != 3 {
+		t.Errorf("len callback = %d, want 3", lastLen)
+	}
+}
+
+func TestListenQueueDuplicateSYN(t *testing.T) {
+	q := NewListenQueue(2, nil)
+	h := &HalfOpen{Peer: peer(1), ClientISN: 5}
+	if !q.Add(h) {
+		t.Fatal("Add failed")
+	}
+	// Retransmitted SYN: reports success, does not duplicate.
+	if !q.Add(&HalfOpen{Peer: peer(1), ClientISN: 6}) {
+		t.Error("duplicate Add reported failure")
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1", q.Len())
+	}
+	got, ok := q.Get(peer(1))
+	if !ok || got.ClientISN != 5 {
+		t.Errorf("Get = %+v, %v; want original entry", got, ok)
+	}
+}
+
+func TestListenQueueRemoveAndExpire(t *testing.T) {
+	q := NewListenQueue(10, nil)
+	for i := 0; i < 5; i++ {
+		q.Add(&HalfOpen{Peer: peer(i), ExpiresAt: time.Duration(i) * time.Second})
+	}
+	if !q.Remove(peer(0)) {
+		t.Error("Remove existing failed")
+	}
+	if q.Remove(peer(0)) {
+		t.Error("Remove missing succeeded")
+	}
+	// Expire entries 1..3 (ExpiresAt ≤ 3s).
+	if n := q.Expire(3 * time.Second); n != 3 {
+		t.Errorf("Expire = %d, want 3", n)
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestAcceptQueueFIFO(t *testing.T) {
+	q := NewAcceptQueue(10, nil)
+	for i := 0; i < 3; i++ {
+		if !q.Push(&Established{Peer: peer(i)}) {
+			t.Fatalf("Push(%d) failed", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		e, ok := q.Pop()
+		if !ok || e.Peer != peer(i) {
+			t.Fatalf("Pop %d = %+v, %v", i, e, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty succeeded")
+	}
+}
+
+func TestAcceptQueueCapacityAndReplayGuard(t *testing.T) {
+	q := NewAcceptQueue(2, nil)
+	if !q.Push(&Established{Peer: peer(1)}) {
+		t.Fatal("Push failed")
+	}
+	// A replayed solution (same peer) cannot take a second slot.
+	if q.Push(&Established{Peer: peer(1)}) {
+		t.Error("duplicate peer took a second slot")
+	}
+	if !q.Push(&Established{Peer: peer(2)}) {
+		t.Fatal("Push(2) failed")
+	}
+	if q.Push(&Established{Peer: peer(3)}) {
+		t.Error("Push succeeded beyond capacity")
+	}
+	if !q.Full() {
+		t.Error("queue should be full")
+	}
+	q.Pop()
+	if q.Contains(peer(1)) {
+		t.Error("Contains after Pop")
+	}
+	if !q.Push(&Established{Peer: peer(3)}) {
+		t.Error("Push after Pop failed")
+	}
+}
+
+func TestQueueLenCallbacks(t *testing.T) {
+	var listenSamples, acceptSamples []int
+	lq := NewListenQueue(5, func(n int) { listenSamples = append(listenSamples, n) })
+	aq := NewAcceptQueue(5, func(n int) { acceptSamples = append(acceptSamples, n) })
+	lq.Add(&HalfOpen{Peer: peer(1)})
+	lq.Remove(peer(1))
+	aq.Push(&Established{Peer: peer(1)})
+	aq.Pop()
+	wantL := []int{1, 0}
+	wantA := []int{1, 0}
+	for i := range wantL {
+		if listenSamples[i] != wantL[i] {
+			t.Errorf("listen sample %d = %d, want %d", i, listenSamples[i], wantL[i])
+		}
+		if acceptSamples[i] != wantA[i] {
+			t.Errorf("accept sample %d = %d, want %d", i, acceptSamples[i], wantA[i])
+		}
+	}
+}

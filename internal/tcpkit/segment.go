@@ -1,0 +1,118 @@
+// Package tcpkit is the userspace TCP handshake substrate: segments, a
+// binary header codec with checksumming, initial-sequence-number generation,
+// and the listen/accept queue structures whose occupancy the paper's attacks
+// target.
+package tcpkit
+
+import (
+	"math/rand"
+
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// Flags is the TCP flags byte (low 6 bits).
+type Flags uint8
+
+// TCP flag bits.
+const (
+	FlagFIN Flags = 1 << 0
+	FlagSYN Flags = 1 << 1
+	FlagRST Flags = 1 << 2
+	FlagPSH Flags = 1 << 3
+	FlagACK Flags = 1 << 4
+	FlagURG Flags = 1 << 5
+)
+
+// Has reports whether all bits in mask are set.
+func (f Flags) Has(mask Flags) bool { return f&mask == mask }
+
+// String renders the set flags, e.g. "SYN|ACK".
+func (f Flags) String() string {
+	names := []struct {
+		bit  Flags
+		name string
+	}{
+		{FlagSYN, "SYN"}, {FlagACK, "ACK"}, {FlagFIN, "FIN"},
+		{FlagRST, "RST"}, {FlagPSH, "PSH"}, {FlagURG, "URG"},
+	}
+	out := ""
+	for _, n := range names {
+		if f.Has(n.bit) {
+			if out != "" {
+				out += "|"
+			}
+			out += n.name
+		}
+	}
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// IPHeaderLen and TCPHeaderLen are the fixed header sizes used for wire-size
+// accounting.
+const (
+	IPHeaderLen  = 20
+	TCPHeaderLen = 20
+)
+
+// Segment is a simulated TCP segment. Payload bytes are modelled by length
+// only; options carry real encoded bytes so the puzzle extension exercises
+// its true wire format.
+type Segment struct {
+	Src, Dst         [4]byte
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            Flags
+	Window           uint16
+	Options          []byte
+	PayloadLen       int
+	// Meta carries modelled application-level content without
+	// materialising payload bytes — e.g. the size argument of the paper's
+	// "gettext/size" request. It does not contribute to WireSize.
+	Meta int
+}
+
+// WireSize returns the on-wire packet size in bytes (IP + TCP headers,
+// options, payload).
+func (s Segment) WireSize() int {
+	return IPHeaderLen + TCPHeaderLen + len(s.Options) + s.PayloadLen
+}
+
+// Flow returns the puzzle flow identifier of the segment as the *client's*
+// flow: for a SYN this is (src → dst, ISN = Seq); for segments travelling
+// server→client callers should use Flow().Reverse() semantics explicitly.
+func (s Segment) Flow() puzzle.FlowID {
+	return puzzle.FlowID{
+		SrcIP:   s.Src,
+		DstIP:   s.Dst,
+		SrcPort: s.SrcPort,
+		DstPort: s.DstPort,
+		ISN:     s.Seq,
+	}
+}
+
+// PeerKey identifies the remote endpoint of a connection from the server's
+// point of view.
+type PeerKey struct {
+	IP   [4]byte
+	Port uint16
+}
+
+// PeerOf returns the sender endpoint of a segment.
+func PeerOf(s Segment) PeerKey { return PeerKey{IP: s.Src, Port: s.SrcPort} }
+
+// ISNSource generates initial sequence numbers from a deterministic stream,
+// standing in for the kernel's randomised ISN generator.
+type ISNSource struct {
+	rnd *rand.Rand
+}
+
+// NewISNSource returns a seeded generator.
+func NewISNSource(seed int64) *ISNSource {
+	return &ISNSource{rnd: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns a fresh ISN.
+func (g *ISNSource) Next() uint32 { return g.rnd.Uint32() }

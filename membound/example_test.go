@@ -1,0 +1,31 @@
+package membound_test
+
+import (
+	"fmt"
+
+	"github.com/tcppuzzles/tcppuzzles/membound"
+)
+
+// A memory-bound puzzle round trip: both sides derive the same table from a
+// public seed; the solver searches nonces, the verifier replays one walk.
+func Example() {
+	table, err := membound.NewTable([]byte("public-seed"), membound.MinLogSize)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ch := membound.Challenge{
+		Params:   membound.Params{M: 6, Walk: 32},
+		Preimage: []byte("bound-to-this-connection"),
+	}
+	sol, _, err := table.Solve(ch, 0)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("verified:", table.Verify(ch, sol) == nil)
+	fmt.Printf("expected cost: %.0f memory accesses\n", ch.Params.ExpectedAccesses())
+	// Output:
+	// verified: true
+	// expected cost: 2048 memory accesses
+}

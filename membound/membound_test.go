@@ -1,0 +1,175 @@
+package membound
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable([]byte("test-seed"), MinLogSize)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	return tbl
+}
+
+func TestSolveVerifyRoundTrip(t *testing.T) {
+	tbl := testTable(t)
+	ch := Challenge{Params: Params{M: 6, Walk: 32}, Preimage: []byte("flow-binding")}
+	sol, stats, err := tbl.Solve(ch, 0)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if stats.Trials == 0 || stats.Accesses != stats.Trials*32 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if err := tbl.Verify(ch, sol); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongNonce(t *testing.T) {
+	tbl := testTable(t)
+	ch := Challenge{Params: Params{M: 8, Walk: 16}, Preimage: []byte("x")}
+	sol, _, err := tbl.Solve(ch, 0)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := tbl.Verify(ch, Solution{Nonce: sol.Nonce + 1}); err == nil {
+		// The next nonce could validly satisfy the check with prob 2^-8;
+		// try a few more to make a false pass astronomically unlikely.
+		misses := 0
+		for d := uint64(2); d < 10; d++ {
+			if tbl.Verify(ch, Solution{Nonce: sol.Nonce + d}) != nil {
+				misses++
+			}
+		}
+		if misses == 0 {
+			t.Error("every neighbouring nonce verified — check is broken")
+		}
+	}
+}
+
+func TestVerifyRejectsWrongPreimage(t *testing.T) {
+	tbl := testTable(t)
+	ch := Challenge{Params: Params{M: 8, Walk: 16}, Preimage: []byte("alpha")}
+	sol, _, err := tbl.Solve(ch, 0)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	other := ch
+	other.Preimage = []byte("beta!")
+	if err := tbl.Verify(other, sol); err == nil {
+		t.Error("solution verified against a different preimage")
+	}
+}
+
+func TestTablesAreDeterministic(t *testing.T) {
+	a, err := NewTable([]byte("s"), MinLogSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewTable([]byte("s"), MinLogSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.entries {
+		if a.entries[i] != b.entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+	c, err := NewTable([]byte("other"), MinLogSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a.entries {
+		if a.entries[i] == c.entries[i] {
+			same++
+		}
+	}
+	if same > len(a.entries)/100 {
+		t.Errorf("different seeds share %d/%d entries", same, len(a.entries))
+	}
+}
+
+func TestSolveBudget(t *testing.T) {
+	tbl := testTable(t)
+	ch := Challenge{Params: Params{M: 24, Walk: 8}, Preimage: []byte("hard")}
+	_, stats, err := tbl.Solve(ch, 10)
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("Solve error = %v, want ErrBudgetExhausted", err)
+	}
+	if stats.Trials != 10 {
+		t.Errorf("Trials = %d, want 10", stats.Trials)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	for _, bad := range []Params{{M: 0, Walk: 8}, {M: 31, Walk: 8}, {M: 8, Walk: 0}} {
+		if err := bad.Validate(); !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("Validate(%+v) = %v", bad, err)
+		}
+	}
+	if err := (Params{M: 8, Walk: 64}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestExpectedAccesses(t *testing.T) {
+	p := Params{M: 10, Walk: 32}
+	if got := p.ExpectedAccesses(); got != 1024*32 {
+		t.Errorf("ExpectedAccesses = %v", got)
+	}
+	if got := p.VerifyAccesses(); got != 32 {
+		t.Errorf("VerifyAccesses = %v", got)
+	}
+}
+
+func TestNewTableBounds(t *testing.T) {
+	if _, err := NewTable([]byte("s"), MinLogSize-1); err == nil {
+		t.Error("undersized table accepted")
+	}
+	if _, err := NewTable([]byte("s"), MaxLogSize+1); err == nil {
+		t.Error("oversized table accepted")
+	}
+}
+
+// Property: every solution the solver returns verifies, for random
+// preimages.
+func TestSolveVerifyProperty(t *testing.T) {
+	tbl := testTable(t)
+	f := func(pre []byte) bool {
+		ch := Challenge{Params: Params{M: 4, Walk: 8}, Preimage: pre}
+		sol, _, err := tbl.Solve(ch, 0)
+		if err != nil {
+			return false
+		}
+		return tbl.Verify(ch, sol) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean trials ≈ 2^M (geometric with p = 2^-M).
+func TestSolveCostDistribution(t *testing.T) {
+	tbl := testTable(t)
+	const m = 5 // expect 32 trials
+	var total uint64
+	const rounds = 400
+	for i := 0; i < rounds; i++ {
+		ch := Challenge{Params: Params{M: m, Walk: 4}, Preimage: []byte{byte(i), byte(i >> 8)}}
+		_, stats, err := tbl.Solve(ch, 0)
+		if err != nil {
+			t.Fatalf("Solve: %v", err)
+		}
+		total += stats.Trials
+	}
+	mean := float64(total) / rounds
+	if mean < 24 || mean > 42 {
+		t.Errorf("mean trials = %v, want ≈ 32", mean)
+	}
+}

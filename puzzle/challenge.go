@@ -1,0 +1,294 @@
+package puzzle
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SecretLen is the length of the server secret in bytes.
+const SecretLen = 32
+
+// DefaultMaxAge is the default replay window: solutions older than this are
+// rejected (tunable via the kernel's sysctl interface in the paper).
+const DefaultMaxAge = 30 * time.Second
+
+// DefaultMaxSkew is the default tolerated clock skew for timestamps that
+// appear to come from the future.
+const DefaultMaxSkew = 2 * time.Second
+
+// Challenge is a puzzle challenge as carried in a SYN-ACK's option block.
+type Challenge struct {
+	// Params is the difficulty the solutions must meet.
+	Params Params
+	// Timestamp is the issue time in Unix seconds, echoed by the client so
+	// that the stateless server can re-derive the preimage and enforce
+	// expiry.
+	Timestamp uint32
+	// Preimage is the first Params.L bits (L/8 bytes) of the challenge hash
+	// y = h(secret || timestamp || flow).
+	Preimage []byte
+}
+
+// Solution is a solved challenge as carried in an ACK's option block.
+type Solution struct {
+	// Params echoes the difficulty the solutions were computed for.
+	Params Params
+	// Timestamp echoes the challenge timestamp.
+	Timestamp uint32
+	// Solutions holds the k solution bitstrings, each Params.L bits.
+	Solutions [][]byte
+}
+
+// VerifyInfo reports accounting detail from a verification.
+type VerifyInfo struct {
+	// Hashes is the number of hash operations performed (1 to re-derive the
+	// preimage plus one per checked solution).
+	Hashes int
+	// Checked is the number of solutions inspected before acceptance or the
+	// first violation.
+	Checked int
+}
+
+// Issuer creates and verifies puzzle challenges statelessly. An Issuer is
+// safe for concurrent use; difficulty parameters may be retuned at runtime
+// with SetParams, mirroring the sysctl interface of the kernel patch.
+type Issuer struct {
+	mu      sync.RWMutex
+	secret  [SecretLen]byte
+	params  Params
+	maxAge  time.Duration
+	maxSkew time.Duration
+	now     func() time.Time
+}
+
+// IssuerOption customises an Issuer.
+type IssuerOption func(*Issuer)
+
+// WithParams sets the initial difficulty parameters.
+func WithParams(p Params) IssuerOption {
+	return func(is *Issuer) { is.params = p }
+}
+
+// WithSecret sets the server secret. The secret must be SecretLen bytes; it
+// is copied.
+func WithSecret(secret []byte) IssuerOption {
+	return func(is *Issuer) { copy(is.secret[:], secret) }
+}
+
+// WithMaxAge sets the replay window after which challenges expire.
+func WithMaxAge(d time.Duration) IssuerOption {
+	return func(is *Issuer) { is.maxAge = d }
+}
+
+// WithMaxSkew sets the tolerated forward clock skew.
+func WithMaxSkew(d time.Duration) IssuerOption {
+	return func(is *Issuer) { is.maxSkew = d }
+}
+
+// WithClock overrides the time source (used by tests and the simulator).
+func WithClock(now func() time.Time) IssuerOption {
+	return func(is *Issuer) { is.now = now }
+}
+
+// NewIssuer returns an Issuer with a fresh random secret, the paper's
+// default difficulty, and the default replay window.
+func NewIssuer(opts ...IssuerOption) (*Issuer, error) {
+	is := &Issuer{
+		params:  DefaultParams(),
+		maxAge:  DefaultMaxAge,
+		maxSkew: DefaultMaxSkew,
+		now:     time.Now,
+	}
+	if _, err := rand.Read(is.secret[:]); err != nil {
+		return nil, fmt.Errorf("puzzle: generate secret: %w", err)
+	}
+	for _, opt := range opts {
+		opt(is)
+	}
+	if err := is.params.Validate(); err != nil {
+		return nil, err
+	}
+	return is, nil
+}
+
+// Params returns the current difficulty parameters.
+func (is *Issuer) Params() Params {
+	is.mu.RLock()
+	defer is.mu.RUnlock()
+	return is.params
+}
+
+// SetParams retunes the difficulty at runtime. Outstanding challenges issued
+// under the previous parameters will no longer verify (the server is
+// stateless and checks against the current setting only).
+func (is *Issuer) SetParams(p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	is.mu.Lock()
+	defer is.mu.Unlock()
+	is.params = p
+	return nil
+}
+
+// MaxAge returns the replay window.
+func (is *Issuer) MaxAge() time.Duration {
+	is.mu.RLock()
+	defer is.mu.RUnlock()
+	return is.maxAge
+}
+
+// SetMaxAge retunes the replay window at runtime.
+func (is *Issuer) SetMaxAge(d time.Duration) {
+	is.mu.Lock()
+	defer is.mu.Unlock()
+	is.maxAge = d
+}
+
+// Issue creates a challenge bound to the given flow at the current time.
+// Issuing performs exactly one hash operation (g(p) = 1).
+func (is *Issuer) Issue(flow FlowID) Challenge {
+	is.mu.RLock()
+	params := is.params
+	now := is.now()
+	is.mu.RUnlock()
+	ts := uint32(now.Unix())
+	return Challenge{
+		Params:    params,
+		Timestamp: ts,
+		Preimage:  is.preimage(flow, ts, params),
+	}
+}
+
+// IssueAt creates a challenge with an explicit timestamp. It exists for the
+// simulator and for tests; production callers use Issue.
+func (is *Issuer) IssueAt(flow FlowID, ts uint32) Challenge {
+	is.mu.RLock()
+	params := is.params
+	is.mu.RUnlock()
+	return Challenge{Params: params, Timestamp: ts, Preimage: is.preimage(flow, ts, params)}
+}
+
+// preimage computes the first params.L bits of h(secret || ts || flow).
+func (is *Issuer) preimage(flow FlowID, ts uint32, params Params) []byte {
+	buf := make([]byte, 0, SecretLen+4+16)
+	buf = append(buf, is.secret[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, ts)
+	buf = flow.appendBytes(buf)
+	sum := sha256.Sum256(buf)
+	pre := make([]byte, params.SolutionBytes())
+	copy(pre, sum[:])
+	return pre
+}
+
+// PreimageFor re-derives the challenge preimage for a flow and timestamp
+// under the current parameters. It enables delegated or simulated
+// verification (e.g. a front-end proxy that shares the secret, paper §7).
+func (is *Issuer) PreimageFor(flow FlowID, ts uint32) []byte {
+	is.mu.RLock()
+	params := is.params
+	is.mu.RUnlock()
+	return is.preimage(flow, ts, params)
+}
+
+// ValidateTimestamp checks a solution timestamp against the replay window
+// and clock-skew policy without verifying any solutions.
+func (is *Issuer) ValidateTimestamp(ts uint32) error {
+	is.mu.RLock()
+	maxAge := is.maxAge
+	maxSkew := is.maxSkew
+	now := is.now()
+	is.mu.RUnlock()
+	issued := time.Unix(int64(ts), 0)
+	if age := now.Sub(issued); age > maxAge {
+		return fmt.Errorf("puzzle: solution age %v exceeds %v: %w", age, maxAge, ErrExpired)
+	}
+	if ahead := issued.Sub(now); ahead > maxSkew {
+		return fmt.Errorf("puzzle: timestamp %v ahead of clock: %w", ahead, ErrFutureTimestamp)
+	}
+	return nil
+}
+
+// Verify checks a solution against the flow it claims to belong to. It
+// performs no lookups in per-connection state: everything needed is
+// re-derived from the secret, the echoed timestamp, and the packet header.
+func (is *Issuer) Verify(flow FlowID, sol Solution) error {
+	_, err := is.VerifyDetailed(flow, sol)
+	return err
+}
+
+// VerifyDetailed is Verify with hash-operation accounting, used by the
+// simulator's CPU model and by benchmarks.
+func (is *Issuer) VerifyDetailed(flow FlowID, sol Solution) (VerifyInfo, error) {
+	is.mu.RLock()
+	params := is.params
+	maxAge := is.maxAge
+	maxSkew := is.maxSkew
+	now := is.now()
+	is.mu.RUnlock()
+
+	var info VerifyInfo
+	if sol.Params != params {
+		return info, fmt.Errorf("puzzle: solution for %v, server at %v: %w",
+			sol.Params, params, ErrParamMismatch)
+	}
+	issued := time.Unix(int64(sol.Timestamp), 0)
+	if age := now.Sub(issued); age > maxAge {
+		return info, fmt.Errorf("puzzle: solution age %v exceeds %v: %w", age, maxAge, ErrExpired)
+	}
+	if ahead := issued.Sub(now); ahead > maxSkew {
+		return info, fmt.Errorf("puzzle: timestamp %v ahead of clock: %w", ahead, ErrFutureTimestamp)
+	}
+	pre := is.preimage(flow, sol.Timestamp, params)
+	info.Hashes = 1
+	n, err := VerifySolutions(pre, params, sol.Solutions)
+	info.Hashes += n
+	info.Checked = n
+	return info, err
+}
+
+// VerifySolutions checks k solutions against a preimage and difficulty. It
+// returns the number of solutions hashed before returning (all k on success,
+// fewer on the first violation).
+func VerifySolutions(preimage []byte, params Params, solutions [][]byte) (checked int, err error) {
+	if len(preimage) != params.SolutionBytes() {
+		return 0, fmt.Errorf("puzzle: preimage %d bytes, want %d: %w",
+			len(preimage), params.SolutionBytes(), ErrWrongLength)
+	}
+	if len(solutions) != int(params.K) {
+		return 0, fmt.Errorf("puzzle: got %d solutions, want %d: %w",
+			len(solutions), params.K, ErrWrongCount)
+	}
+	for i, s := range solutions {
+		if len(s) != params.SolutionBytes() {
+			return checked, fmt.Errorf("puzzle: solution %d is %d bytes, want %d: %w",
+				i+1, len(s), params.SolutionBytes(), ErrWrongLength)
+		}
+		checked++
+		if !solutionValid(preimage, params, uint8(i+1), s) {
+			return checked, fmt.Errorf("puzzle: solution %d fails %d-bit check: %w",
+				i+1, params.M, ErrBadSolution)
+		}
+	}
+	return checked, nil
+}
+
+// solutionValid reports whether the first M bits of h(P || i || s) equal the
+// first M bits of P.
+func solutionValid(preimage []byte, params Params, index uint8, s []byte) bool {
+	digest := solutionDigest(preimage, index, s)
+	return leadingBitsEqual(digest[:], preimage, int(params.M))
+}
+
+// solutionDigest computes h(P || i || s).
+func solutionDigest(preimage []byte, index uint8, s []byte) [sha256.Size]byte {
+	buf := make([]byte, 0, len(preimage)+1+len(s))
+	buf = append(buf, preimage...)
+	buf = append(buf, index)
+	buf = append(buf, s...)
+	return sha256.Sum256(buf)
+}

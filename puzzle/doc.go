@@ -1,0 +1,27 @@
+// Package puzzle implements the Juels–Brainard client-puzzle scheme used by
+// the TCP client-puzzles extension of Noureddine et al., "Revisiting Client
+// Puzzles for State Exhaustion Attacks Resilience" (DSN 2019).
+//
+// A puzzle challenge is derived statelessly from a server secret, a
+// timestamp, and the packet-level data of the TCP SYN that triggered it
+// (source/destination addresses and ports plus the initial sequence number).
+// The server computes
+//
+//	y = SHA-256(secret || timestamp || packet-level data)
+//
+// and challenges the client with the first L bits of y (the preimage P). The
+// client must find K solutions s_1..s_K, each L bits long, such that the
+// first M bits of SHA-256(P || i || s_i) equal the first M bits of P. The
+// server re-derives P from the echoed timestamp and the ACK packet's header
+// and verifies the solutions without ever having stored per-connection
+// state.
+//
+// Expected work (paper §4.1): solving costs K·2^(M-1) hash operations on
+// average; issuing costs one hash; verifying costs 1 + K/2 hashes on average
+// when solutions are checked in random order.
+//
+// The Issuer type provides stateless issue/verify with replay protection
+// (timestamp windows). Solve and Solver perform the client-side brute-force
+// search. All difficulty parameters can be retuned at runtime
+// (Issuer.SetParams), mirroring the sysctl interface of the kernel patch.
+package puzzle

@@ -1,0 +1,28 @@
+package puzzle
+
+import "errors"
+
+var (
+	// ErrInvalidParams reports malformed difficulty parameters.
+	ErrInvalidParams = errors.New("invalid puzzle parameters")
+	// ErrExpired reports that a solution's timestamp fell outside the replay
+	// window, i.e. the challenge has expired.
+	ErrExpired = errors.New("puzzle challenge expired")
+	// ErrFutureTimestamp reports a solution timestamp ahead of the server
+	// clock by more than the allowed skew (a replay-forgery attempt).
+	ErrFutureTimestamp = errors.New("puzzle timestamp in the future")
+	// ErrParamMismatch reports a solution whose parameters differ from the
+	// server's current difficulty setting. Because the server is stateless,
+	// only solutions for the currently configured difficulty verify.
+	ErrParamMismatch = errors.New("puzzle parameter mismatch")
+	// ErrBadSolution reports a solution that fails the difficulty check.
+	ErrBadSolution = errors.New("puzzle solution invalid")
+	// ErrWrongCount reports a solution set whose cardinality is not k.
+	ErrWrongCount = errors.New("puzzle solution count mismatch")
+	// ErrWrongLength reports a preimage or solution with a length other
+	// than l bits.
+	ErrWrongLength = errors.New("puzzle field length mismatch")
+	// ErrBudgetExhausted reports that a Solver gave up because its hash
+	// budget ran out before all k solutions were found.
+	ErrBudgetExhausted = errors.New("puzzle solver hash budget exhausted")
+)

@@ -1,0 +1,50 @@
+package puzzle_test
+
+import (
+	"fmt"
+
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// The full protocol round trip: the server issues a challenge bound to a
+// connection's flow, the client solves it, and the stateless server
+// verifies.
+func Example() {
+	issuer, err := puzzle.NewIssuer(puzzle.WithParams(puzzle.Params{K: 2, M: 8, L: 32}))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	flow := puzzle.FlowID{
+		SrcIP: [4]byte{192, 0, 2, 7}, DstIP: [4]byte{198, 51, 100, 1},
+		SrcPort: 52044, DstPort: 443, ISN: 12345,
+	}
+
+	ch := issuer.Issue(flow)
+	sol, _, err := puzzle.Solve(ch)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("verified:", issuer.Verify(flow, sol) == nil)
+
+	// A solution replayed on a different connection fails.
+	other := flow
+	other.SrcPort = 40000
+	fmt.Println("replay rejected:", issuer.Verify(other, sol) != nil)
+	// Output:
+	// verified: true
+	// replay rejected: true
+}
+
+// Difficulty parameters expose the work model of the paper's §4.
+func ExampleParams() {
+	p := puzzle.Params{K: 2, M: 17, L: 64}
+	fmt.Printf("solve: %.0f hashes expected\n", p.ExpectedSolveHashes())
+	fmt.Printf("verify: %.1f hashes expected\n", p.ExpectedVerifyHashes())
+	fmt.Printf("blind guess probability: 2^-%d\n", int(p.K)*int(p.M))
+	// Output:
+	// solve: 131072 hashes expected
+	// verify: 2.0 hashes expected
+	// blind guess probability: 2^-34
+}

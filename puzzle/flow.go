@@ -1,0 +1,49 @@
+package puzzle
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FlowID is the packet-level data bound into a challenge: the TCP 4-tuple of
+// the SYN packet plus the client's initial sequence number. Binding the
+// challenge to the flow prevents a solution computed for one connection from
+// being replayed on another (paper §5, "Replay attacks").
+type FlowID struct {
+	SrcIP   [4]byte
+	DstIP   [4]byte
+	SrcPort uint16
+	DstPort uint16
+	ISN     uint32
+}
+
+// appendBytes appends the canonical byte encoding of the flow to b.
+func (f FlowID) appendBytes(b []byte) []byte {
+	b = append(b, f.SrcIP[:]...)
+	b = append(b, f.DstIP[:]...)
+	b = binary.BigEndian.AppendUint16(b, f.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, f.DstPort)
+	b = binary.BigEndian.AppendUint32(b, f.ISN)
+	return b
+}
+
+// Reverse returns the flow as seen from the opposite direction, with source
+// and destination swapped. The ISN is preserved: the server verifying an ACK
+// reconstructs the original SYN's flow, so callers normalize direction with
+// Reverse before verification.
+func (f FlowID) Reverse() FlowID {
+	return FlowID{
+		SrcIP:   f.DstIP,
+		DstIP:   f.SrcIP,
+		SrcPort: f.DstPort,
+		DstPort: f.SrcPort,
+		ISN:     f.ISN,
+	}
+}
+
+// String renders the flow as "1.2.3.4:80->5.6.7.8:443#isn".
+func (f FlowID) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d->%d.%d.%d.%d:%d#%d",
+		f.SrcIP[0], f.SrcIP[1], f.SrcIP[2], f.SrcIP[3], f.SrcPort,
+		f.DstIP[0], f.DstIP[1], f.DstIP[2], f.DstIP[3], f.DstPort, f.ISN)
+}

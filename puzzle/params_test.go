@@ -1,0 +1,104 @@
+package puzzle
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		params  Params
+		wantErr bool
+	}{
+		{name: "default", params: DefaultParams(), wantErr: false},
+		{name: "minimal", params: Params{K: 1, M: 1, L: 8}, wantErr: false},
+		{name: "max difficulty", params: Params{K: 4, M: 64, L: 64}, wantErr: false},
+		{name: "zero k", params: Params{K: 0, M: 8, L: 64}, wantErr: true},
+		{name: "zero m", params: Params{K: 1, M: 0, L: 64}, wantErr: true},
+		{name: "m exceeds l", params: Params{K: 1, M: 72, L: 64}, wantErr: true},
+		{name: "l not byte aligned", params: Params{K: 1, M: 8, L: 63}, wantErr: true},
+		{name: "l too small", params: Params{K: 1, M: 1, L: 0}, wantErr: true},
+		{name: "l too large", params: Params{K: 1, M: 8, L: 255}, wantErr: true},
+		{name: "m above cap", params: Params{K: 1, M: 65, L: 248}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.params.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate(%v) error = %v, wantErr %v", tt.params, err, tt.wantErr)
+			}
+			if err != nil && !errors.Is(err, ErrInvalidParams) {
+				t.Fatalf("Validate(%v) error %v does not wrap ErrInvalidParams", tt.params, err)
+			}
+		})
+	}
+}
+
+func TestParamsExpectedSolveHashes(t *testing.T) {
+	tests := []struct {
+		params Params
+		want   float64
+	}{
+		{Params{K: 1, M: 1, L: 64}, 1},
+		{Params{K: 1, M: 8, L: 64}, 128},
+		{Params{K: 2, M: 17, L: 64}, 131072},
+		{Params{K: 4, M: 20, L: 64}, 4 * 524288},
+	}
+	for _, tt := range tests {
+		if got := tt.params.ExpectedSolveHashes(); got != tt.want {
+			t.Errorf("%v.ExpectedSolveHashes() = %v, want %v", tt.params, got, tt.want)
+		}
+	}
+}
+
+func TestParamsExpectedVerifyHashes(t *testing.T) {
+	if got := (Params{K: 2, M: 17, L: 64}).ExpectedVerifyHashes(); got != 2 {
+		t.Errorf("ExpectedVerifyHashes() = %v, want 2", got)
+	}
+	if got := (Params{K: 4, M: 8, L: 64}).ExpectedVerifyHashes(); got != 3 {
+		t.Errorf("ExpectedVerifyHashes() = %v, want 3", got)
+	}
+}
+
+func TestParamsGuessProbability(t *testing.T) {
+	p := Params{K: 2, M: 8, L: 64}
+	want := math.Exp2(-16)
+	if got := p.GuessProbability(); math.Abs(got-want) > 1e-18 {
+		t.Errorf("GuessProbability() = %v, want %v", got, want)
+	}
+}
+
+func TestParamsSolutionBytes(t *testing.T) {
+	if got := (Params{K: 1, M: 4, L: 64}).SolutionBytes(); got != 8 {
+		t.Errorf("SolutionBytes() = %d, want 8", got)
+	}
+	if got := (Params{K: 1, M: 4, L: 128}).SolutionBytes(); got != 16 {
+		t.Errorf("SolutionBytes() = %d, want 16", got)
+	}
+}
+
+func TestParamsStringFormat(t *testing.T) {
+	if got, want := DefaultParams().String(), "(k=2,m=17,l=64)"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Property: solve-hash expectation scales linearly in k and exponentially
+// in m.
+func TestParamsWorkMonotonicity(t *testing.T) {
+	f := func(k uint8, m uint8) bool {
+		k = k%4 + 1
+		m = m%32 + 1
+		base := Params{K: k, M: m, L: 64}
+		moreK := Params{K: k + 1, M: m, L: 64}
+		moreM := Params{K: k, M: m + 1, L: 64}
+		return moreK.ExpectedSolveHashes() > base.ExpectedSolveHashes() &&
+			moreM.ExpectedSolveHashes() == 2*base.ExpectedSolveHashes()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

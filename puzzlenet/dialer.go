@@ -1,0 +1,118 @@
+package puzzlenet
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/tcpopt"
+)
+
+// Dialer opens connections through a puzzle-gated listener, solving
+// challenges transparently — the client half of the patched kernel.
+type Dialer struct {
+	// Inner performs the TCP dial; nil uses a default net.Dialer.
+	Inner *net.Dialer
+	// Solver performs the brute-force search; the zero value is used when
+	// nil.
+	Solver *puzzle.Solver
+	// HandshakeTimeout bounds the preamble (default 30 s).
+	HandshakeTimeout time.Duration
+	// Stats counters (read with atomic care only in tests; the Dialer is
+	// otherwise safe for concurrent use because these are written per
+	// call without aggregation guarantees).
+	OnSolve func(params puzzle.Params, hashes uint64)
+}
+
+// Dial connects and completes the puzzle preamble.
+func (d *Dialer) Dial(network, addr string) (net.Conn, error) {
+	return d.DialContext(context.Background(), network, addr)
+}
+
+// DialContext connects and completes the puzzle preamble.
+func (d *Dialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	inner := d.Inner
+	if inner == nil {
+		inner = &net.Dialer{}
+	}
+	conn, err := inner.DialContext(ctx, network, addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.preamble(ctx, conn); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+func (d *Dialer) preamble(ctx context.Context, conn net.Conn) error {
+	timeout := d.HandshakeTimeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return err
+	}
+	frameType, body, err := readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("puzzlenet: read greeting: %w", err)
+	}
+	switch frameType {
+	case frameWelcome:
+		return conn.SetDeadline(time.Time{})
+	case frameChallenge:
+		// fall through to solving
+	default:
+		return fmt.Errorf("puzzlenet: unexpected frame 0x%02x: %w", frameType, ErrProtocol)
+	}
+	if len(body) < 6 {
+		return fmt.Errorf("puzzlenet: short challenge frame: %w", ErrProtocol)
+	}
+	nonce := binary.BigEndian.Uint32(body)
+	chOpt := tcpopt.Option{Kind: body[4], Data: body[6:]}
+	blk, err := tcpopt.ParseChallenge(chOpt)
+	if err != nil {
+		return fmt.Errorf("puzzlenet: parse challenge: %w", err)
+	}
+	_ = nonce // binding is implicit: the server derived the flow itself
+
+	solver := d.Solver
+	if solver == nil {
+		solver = &puzzle.Solver{}
+	}
+	sol, stats, err := solver.Solve(ctx, blk.Challenge)
+	if err != nil {
+		return fmt.Errorf("puzzlenet: solve: %w", err)
+	}
+	if d.OnSolve != nil {
+		d.OnSolve(blk.Challenge.Params, stats.Hashes)
+	}
+	solOpt, err := tcpopt.EncodeSolution(tcpopt.SolutionBlock{
+		MSS: 1460, WScale: 7, HasTimestamp: true, Solution: sol,
+	})
+	if err != nil {
+		return fmt.Errorf("puzzlenet: encode solution: %w", err)
+	}
+	payload := make([]byte, 0, 2+len(solOpt.Data))
+	payload = append(payload, solOpt.Kind, byte(2+len(solOpt.Data)))
+	payload = append(payload, solOpt.Data...)
+	if err := writeFrame(conn, frameSolution, payload); err != nil {
+		return fmt.Errorf("puzzlenet: send solution: %w", err)
+	}
+	frameType, _, err = readFrame(conn)
+	if err != nil {
+		return fmt.Errorf("puzzlenet: read verdict: %w", err)
+	}
+	if frameType != frameAccept {
+		return ErrRejected
+	}
+	return conn.SetDeadline(time.Time{})
+}

@@ -1,0 +1,28 @@
+// Package puzzlenet carries the TCP client-puzzles protocol over real TCP
+// sockets in userspace — the deployable variant of the paper's kernel patch
+// for environments where patching the kernel is not an option.
+//
+// Because userspace cannot add options to the kernel's SYN-ACK, the
+// challenge/solution exchange runs as a one-round-trip preamble immediately
+// after the TCP handshake, using the same wire blocks as the kernel
+// extension (package tcpopt) inside a minimal length-prefixed framing:
+//
+//	server → client:  WELCOME                     (no protection active)
+//	server → client:  CHALLENGE <0xfc block>      (protection active)
+//	client → server:  SOLUTION  <0xfd block>
+//	server → client:  ACCEPT | REJECT
+//
+// The challenge is bound to the connection 4-tuple and a per-connection
+// nonce (standing in for the SYN's initial sequence number), carries the
+// issue timestamp, and expires after the issuer's replay window — the same
+// statelessness-derived properties as the kernel protocol, though the TCP
+// connection itself is necessarily stateful here.
+//
+// Listener gates accepted connections behind puzzles according to a
+// ChallengePolicy (challenge always, never, or — mirroring the kernel's
+// opportunistic controller — once the number of connections awaiting
+// verification exceeds a threshold). Dialer solves challenges
+// transparently. Proxy implements the front-end deployment of §7: a
+// puzzle-verifying tier that forwards only verified connections to a
+// backend.
+package puzzlenet

@@ -1,0 +1,45 @@
+package puzzlenet
+
+import (
+	"crypto/sha256"
+	"net"
+
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// flowFor derives the puzzle flow binding for a connection: the 4-tuple
+// plus a nonce standing in for the SYN's initial sequence number. IPv6
+// addresses are folded into 4 bytes by hashing, preserving the binding
+// property (distinct flows get distinct identifiers with overwhelming
+// probability).
+func flowFor(conn net.Conn, nonce uint32) puzzle.FlowID {
+	src, srcPort := addrParts(conn.RemoteAddr())
+	dst, dstPort := addrParts(conn.LocalAddr())
+	return puzzle.FlowID{
+		SrcIP:   src,
+		DstIP:   dst,
+		SrcPort: srcPort,
+		DstPort: dstPort,
+		ISN:     nonce,
+	}
+}
+
+func addrParts(addr net.Addr) ([4]byte, uint16) {
+	tcp, ok := addr.(*net.TCPAddr)
+	if !ok || tcp == nil {
+		return fold(addr.String()), 0
+	}
+	if v4 := tcp.IP.To4(); v4 != nil {
+		var out [4]byte
+		copy(out[:], v4)
+		return out, uint16(tcp.Port)
+	}
+	return fold(tcp.IP.String()), uint16(tcp.Port)
+}
+
+func fold(s string) [4]byte {
+	sum := sha256.Sum256([]byte(s))
+	var out [4]byte
+	copy(out[:], sum[:])
+	return out
+}

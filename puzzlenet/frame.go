@@ -1,0 +1,61 @@
+package puzzlenet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types of the preamble protocol.
+const (
+	frameWelcome   = 0x01
+	frameChallenge = 0x02
+	frameSolution  = 0x03
+	frameAccept    = 0x04
+	frameReject    = 0x05
+)
+
+// maxFrameLen bounds frame payloads; challenge and solution blocks fit
+// comfortably, and the bound caps what an unauthenticated peer can make us
+// buffer.
+const maxFrameLen = 512
+
+var (
+	// ErrRejected reports that the server rejected our solution.
+	ErrRejected = errors.New("puzzlenet: solution rejected")
+	// ErrProtocol reports a malformed or unexpected frame.
+	ErrProtocol = errors.New("puzzlenet: protocol error")
+	// ErrFrameTooLarge reports a frame exceeding maxFrameLen.
+	ErrFrameTooLarge = errors.New("puzzlenet: frame too large")
+)
+
+// writeFrame writes one frame: [type:1][len:2 BE][payload].
+func writeFrame(w io.Writer, frameType byte, payload []byte) error {
+	if len(payload) > maxFrameLen {
+		return fmt.Errorf("puzzlenet: %d-byte payload: %w", len(payload), ErrFrameTooLarge)
+	}
+	buf := make([]byte, 3+len(payload))
+	buf[0] = frameType
+	binary.BigEndian.PutUint16(buf[1:], uint16(len(payload)))
+	copy(buf[3:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (frameType byte, payload []byte, err error) {
+	var hdr [3]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	length := binary.BigEndian.Uint16(hdr[1:])
+	if length > maxFrameLen {
+		return 0, nil, fmt.Errorf("puzzlenet: %d-byte frame: %w", length, ErrFrameTooLarge)
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}

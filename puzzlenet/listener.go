@@ -1,0 +1,268 @@
+package puzzlenet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/tcpopt"
+)
+
+// ChallengePolicy decides per connection whether to issue a challenge.
+type ChallengePolicy interface {
+	// Challenge reports whether the next connection must solve a puzzle,
+	// given the number of connections currently awaiting verification.
+	Challenge(pending int) bool
+}
+
+// PolicyAlways challenges every connection.
+type PolicyAlways struct{}
+
+// Challenge implements ChallengePolicy.
+func (PolicyAlways) Challenge(int) bool { return true }
+
+// PolicyNever disables challenges (plain pass-through).
+type PolicyNever struct{}
+
+// Challenge implements ChallengePolicy.
+func (PolicyNever) Challenge(int) bool { return false }
+
+// PolicyPending mirrors the kernel's opportunistic controller: challenge
+// once the number of connections awaiting verification reaches Threshold.
+type PolicyPending struct {
+	Threshold int
+}
+
+// Challenge implements ChallengePolicy.
+func (p PolicyPending) Challenge(pending int) bool { return pending >= p.Threshold }
+
+// ListenerStats exposes counters for monitoring.
+type ListenerStats struct {
+	Accepted   uint64
+	Challenged uint64
+	Verified   uint64
+	Rejected   uint64
+	Errors     uint64
+}
+
+// Listener gates accepted connections behind client puzzles.
+type Listener struct {
+	inner   net.Listener
+	issuer  *puzzle.Issuer
+	policy  ChallengePolicy
+	timeout time.Duration
+
+	ready   chan net.Conn
+	closed  chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+	pending atomic.Int64
+	nonces  struct {
+		mu  sync.Mutex
+		rnd *rand.Rand
+	}
+
+	accepted, challenged, verified, rejected, errs atomic.Uint64
+}
+
+// ListenerOption customises a Listener.
+type ListenerOption func(*Listener)
+
+// WithPolicy sets the challenge policy (default PolicyAlways).
+func WithPolicy(p ChallengePolicy) ListenerOption {
+	return func(l *Listener) { l.policy = p }
+}
+
+// WithHandshakeTimeout bounds the challenge/solution exchange (default 30s,
+// the challenge replay window).
+func WithHandshakeTimeout(d time.Duration) ListenerOption {
+	return func(l *Listener) { l.timeout = d }
+}
+
+// NewListener wraps an accepted-connection source with puzzle gating. The
+// issuer supplies difficulty and verification; retune it at runtime via
+// puzzle.Issuer.SetParams.
+func NewListener(inner net.Listener, issuer *puzzle.Issuer, opts ...ListenerOption) *Listener {
+	l := &Listener{
+		inner:   inner,
+		issuer:  issuer,
+		policy:  PolicyAlways{},
+		timeout: 30 * time.Second,
+		ready:   make(chan net.Conn),
+		closed:  make(chan struct{}),
+	}
+	l.nonces.rnd = rand.New(rand.NewSource(time.Now().UnixNano()))
+	for _, opt := range opts {
+		opt(l)
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l
+}
+
+// Listen is a convenience that listens on a TCP address and wraps it.
+func Listen(addr string, issuer *puzzle.Issuer, opts ...ListenerOption) (*Listener, error) {
+	inner, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("puzzlenet: %w", err)
+	}
+	return NewListener(inner, issuer, opts...), nil
+}
+
+// Accept returns the next verified connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case conn := <-l.ready:
+		return conn, nil
+	case <-l.closed:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close stops accepting and waits for in-flight handshakes to finish.
+func (l *Listener) Close() error {
+	var err error
+	l.once.Do(func() {
+		err = l.inner.Close()
+		close(l.closed)
+	})
+	l.wg.Wait()
+	return err
+}
+
+// Addr returns the underlying listener address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Stats returns a snapshot of the listener counters.
+func (l *Listener) Stats() ListenerStats {
+	return ListenerStats{
+		Accepted:   l.accepted.Load(),
+		Challenged: l.challenged.Load(),
+		Verified:   l.verified.Load(),
+		Rejected:   l.rejected.Load(),
+		Errors:     l.errs.Load(),
+	}
+}
+
+func (l *Listener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.inner.Accept()
+		if err != nil {
+			select {
+			case <-l.closed:
+			default:
+				l.errs.Add(1)
+				// Transient accept errors: retry until Close.
+				select {
+				case <-l.closed:
+					return
+				case <-time.After(10 * time.Millisecond):
+					continue
+				}
+			}
+			return
+		}
+		l.accepted.Add(1)
+		l.wg.Add(1)
+		go l.handshake(conn)
+	}
+}
+
+// handshake runs the preamble on one connection and delivers it to Accept
+// on success.
+func (l *Listener) handshake(conn net.Conn) {
+	defer l.wg.Done()
+	deliver, err := l.gate(conn)
+	if err != nil || !deliver {
+		_ = conn.Close()
+		return
+	}
+	select {
+	case l.ready <- conn:
+	case <-l.closed:
+		_ = conn.Close()
+	}
+}
+
+// gate performs the WELCOME/CHALLENGE exchange. It reports whether the
+// connection should be delivered to the application.
+func (l *Listener) gate(conn net.Conn) (bool, error) {
+	if !l.policy.Challenge(int(l.pending.Load())) {
+		if err := writeFrame(conn, frameWelcome, nil); err != nil {
+			l.errs.Add(1)
+			return false, err
+		}
+		return true, nil
+	}
+	l.pending.Add(1)
+	defer l.pending.Add(-1)
+	l.challenged.Add(1)
+
+	if err := conn.SetDeadline(time.Now().Add(l.timeout)); err != nil {
+		l.errs.Add(1)
+		return false, err
+	}
+	nonce := l.nextNonce()
+	flow := flowFor(conn, nonce)
+	ch := l.issuer.Issue(flow)
+	chOpt, err := tcpopt.EncodeChallenge(ch, true)
+	if err != nil {
+		l.errs.Add(1)
+		return false, err
+	}
+	// The nonce travels with the challenge so the client can echo the
+	// binding; frame payload = nonce(4) || option bytes.
+	payload := make([]byte, 0, 4+2+len(chOpt.Data))
+	payload = append(payload,
+		byte(nonce>>24), byte(nonce>>16), byte(nonce>>8), byte(nonce))
+	payload = append(payload, chOpt.Kind, byte(2+len(chOpt.Data)))
+	payload = append(payload, chOpt.Data...)
+	if err := writeFrame(conn, frameChallenge, payload); err != nil {
+		l.errs.Add(1)
+		return false, err
+	}
+
+	frameType, body, err := readFrame(conn)
+	if err != nil {
+		l.errs.Add(1)
+		return false, err
+	}
+	if frameType != frameSolution || len(body) < 2 {
+		l.rejected.Add(1)
+		_ = writeFrame(conn, frameReject, nil)
+		return false, ErrProtocol
+	}
+	solOpt := tcpopt.Option{Kind: body[0], Data: body[2:]}
+	blk, err := tcpopt.ParseSolution(solOpt, l.issuer.Params())
+	if err != nil {
+		l.rejected.Add(1)
+		_ = writeFrame(conn, frameReject, nil)
+		return false, err
+	}
+	if err := l.issuer.Verify(flow, blk.Solution); err != nil {
+		l.rejected.Add(1)
+		_ = writeFrame(conn, frameReject, nil)
+		return false, err
+	}
+	l.verified.Add(1)
+	if err := writeFrame(conn, frameAccept, nil); err != nil {
+		l.errs.Add(1)
+		return false, err
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		l.errs.Add(1)
+		return false, err
+	}
+	return true, nil
+}
+
+func (l *Listener) nextNonce() uint32 {
+	l.nonces.mu.Lock()
+	defer l.nonces.mu.Unlock()
+	return l.nonces.rnd.Uint32()
+}

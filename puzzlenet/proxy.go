@@ -1,0 +1,107 @@
+package puzzlenet
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is the front-end deployment of §7: it terminates puzzle handshakes
+// and forwards only verified connections to a backend, so the backend never
+// spends cycles on puzzle generation or verification.
+type Proxy struct {
+	listener *Listener
+	backend  string
+	dial     func(string) (net.Conn, error)
+
+	mu     sync.Mutex
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// ProxyOption customises a Proxy.
+type ProxyOption func(*Proxy)
+
+// WithBackendDialer overrides how backend connections are opened.
+func WithBackendDialer(dial func(addr string) (net.Conn, error)) ProxyOption {
+	return func(p *Proxy) { p.dial = dial }
+}
+
+// NewProxy builds a proxy in front of backend using a puzzle-gated
+// listener.
+func NewProxy(listener *Listener, backend string, opts ...ProxyOption) *Proxy {
+	p := &Proxy{
+		listener: listener,
+		backend:  backend,
+		dial: func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		},
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// Serve accepts verified connections and splices them to the backend until
+// the listener closes.
+func (p *Proxy) Serve() error {
+	for {
+		conn, err := p.listener.Accept()
+		if err != nil {
+			if err == net.ErrClosed {
+				return nil
+			}
+			return fmt.Errorf("puzzlenet: proxy accept: %w", err)
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		p.wg.Add(1)
+		p.mu.Unlock()
+		go p.splice(conn)
+	}
+}
+
+// Close shuts the listener and waits for in-flight splices.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.listener.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) splice(client net.Conn) {
+	defer p.wg.Done()
+	defer client.Close()
+	backend, err := p.dial(p.backend)
+	if err != nil {
+		return
+	}
+	defer backend.Close()
+
+	done := make(chan struct{}, 2)
+	copyHalf := func(dst, src net.Conn) {
+		_, _ = io.Copy(dst, src)
+		// Half-close semantics: propagate EOF where supported.
+		if tcp, ok := dst.(*net.TCPConn); ok {
+			_ = tcp.CloseWrite()
+		}
+		done <- struct{}{}
+	}
+	go copyHalf(backend, client)
+	go copyHalf(client, backend)
+	<-done
+	<-done
+}

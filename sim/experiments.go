@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/experiments"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	inner := experiments.Table{Title: t.Title, Header: t.Header, Rows: t.Rows}
+	return inner.String()
+}
+
+func fromInternal(t experiments.Table) Table {
+	return Table{Title: t.Title, Header: t.Header, Rows: t.Rows}
+}
+
+// Scale selects the experiment size.
+type Scale string
+
+// Experiment scales.
+const (
+	// ScalePaper is the full §6 deployment (600 s, 15 clients, 10 bots at
+	// 500 pps). Minutes of wall time per experiment.
+	ScalePaper Scale = "paper"
+	// ScaleQuick is a reduced deployment with the same structure (120 s).
+	ScaleQuick Scale = "quick"
+)
+
+func (s Scale) flood() (experiments.FloodScale, error) {
+	switch s {
+	case "", ScaleQuick:
+		return experiments.QuickScale(), nil
+	case ScalePaper:
+		return experiments.PaperScale(), nil
+	default:
+		return experiments.FloodScale{}, fmt.Errorf("sim: unknown scale %q", s)
+	}
+}
+
+// ExperimentIDs returns the available experiment identifiers in display
+// order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(experimentRunners))
+	for id := range experimentRunners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+type runner func(scale experiments.FloodScale) ([]Table, error)
+
+var experimentRunners = map[string]runner{
+	"fig3a": func(experiments.FloodScale) ([]Table, error) {
+		r, err := experiments.Fig3a()
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"fig3b": func(experiments.FloodScale) ([]Table, error) {
+		r, err := experiments.Fig3b()
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"fig6": func(scale experiments.FloodScale) ([]Table, error) {
+		cfg := experiments.Fig6Config{}
+		if scale.Duration < 600*time.Second {
+			cfg = experiments.Fig6Config{Ks: []uint8{1, 2, 4}, Ms: []uint8{4, 10, 16}, Connections: 100}
+		}
+		r, err := experiments.Fig6(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"fig7": func(scale experiments.FloodScale) ([]Table, error) {
+		r, err := experiments.Fig7(scale)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"fig8": func(scale experiments.FloodScale) ([]Table, error) {
+		r, err := experiments.Fig8(scale)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"fig9": func(scale experiments.FloodScale) ([]Table, error) {
+		r, err := experiments.Fig9(scale)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"fig10": func(scale experiments.FloodScale) ([]Table, error) {
+		r, err := experiments.Fig10(scale)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"fig11": func(scale experiments.FloodScale) ([]Table, error) {
+		r, err := experiments.Fig11(scale)
+		if err != nil {
+			return nil, err
+		}
+		t := fromInternal(r.Table())
+		t.Rows = append(t.Rows, []string{"reduction", fmt.Sprintf("%.1fx", r.ReductionFactor()), ""})
+		return []Table{t}, nil
+	},
+	"fig12": func(scale experiments.FloodScale) ([]Table, error) {
+		cfg := experiments.Fig12Config{Scale: scale}
+		if scale.Duration < 600*time.Second {
+			cfg.Ks = []uint8{1, 2}
+			cfg.Ms = []uint8{12, 16, 17, 20}
+		}
+		r, err := experiments.Fig12(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"fig13": func(scale experiments.FloodScale) ([]Table, error) {
+		rates := []float64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
+		if scale.Duration < 600*time.Second {
+			rates = []float64{100, 400, 700, 1000}
+		}
+		r, err := experiments.Fig13(scale, rates)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"fig14": func(scale experiments.FloodScale) ([]Table, error) {
+		sizes := []int{2, 4, 6, 8, 10, 12, 14}
+		if scale.Duration < 600*time.Second {
+			sizes = []int{2, 6, 10, 14}
+		}
+		r, err := experiments.Fig14(scale, sizes, 5000)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"fig15": func(scale experiments.FloodScale) ([]Table, error) {
+		r, err := experiments.Fig15(scale)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"tab1": func(experiments.FloodScale) ([]Table, error) {
+		return []Table{fromInternal(experiments.Table1().Table())}, nil
+	},
+	"nash": func(experiments.FloodScale) ([]Table, error) {
+		r, err := experiments.NashExample()
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"ablation-opportunistic": func(scale experiments.FloodScale) ([]Table, error) {
+		r, err := experiments.AblationOpportunistic(scale)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"ablation-solutionflood": func(scale experiments.FloodScale) ([]Table, error) {
+		r, err := experiments.AblationSolutionFlood(scale)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"ablation-membound": func(experiments.FloodScale) ([]Table, error) {
+		return []Table{fromInternal(experiments.AblationMemoryBound().Table())}, nil
+	},
+	"ablation-adaptive": func(scale experiments.FloodScale) ([]Table, error) {
+		// The per-5s controller needs a longer attack than the default
+		// reduced scale provides.
+		if scale.Duration < 600*time.Second {
+			scale.Duration = 160 * time.Second
+			scale.AttackStart = 15 * time.Second
+			scale.AttackStop = 105 * time.Second
+		}
+		r, err := experiments.AblationAdaptive(scale)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+}
+
+// RunExperiment executes a named experiment at the given scale and returns
+// its result tables.
+func RunExperiment(id string, scale Scale) ([]Table, error) {
+	fs, err := scale.flood()
+	if err != nil {
+		return nil, err
+	}
+	run, ok := experimentRunners[strings.ToLower(id)]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown experiment %q (known: %s)",
+			id, strings.Join(ExperimentIDs(), ", "))
+	}
+	return run(fs)
+}

@@ -1,0 +1,170 @@
+// Package sim is the public façade over the simulated testbed: it builds
+// and runs attack scenarios (SYN floods, connection floods, solution
+// floods) against a server protected by client puzzles, SYN cookies, a SYN
+// cache, or nothing, and returns materialised measurement series.
+//
+// It also exposes the paper's evaluation as named experiments (see
+// Experiments and RunExperiment) so a downstream user can regenerate every
+// figure and table from §6 with one call.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
+	"github.com/tcppuzzles/tcppuzzles/internal/experiments"
+	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// Defense selects the server protection.
+type Defense string
+
+// Supported defenses.
+const (
+	DefenseNone     Defense = "none"
+	DefenseCookies  Defense = "cookies"
+	DefenseSYNCache Defense = "syncache"
+	DefensePuzzles  Defense = "puzzles"
+)
+
+// Attack selects the botnet behaviour.
+type Attack string
+
+// Supported attacks.
+const (
+	AttackSYNFlood      Attack = "synflood"
+	AttackConnFlood     Attack = "connflood"
+	AttackSolutionFlood Attack = "solutionflood"
+)
+
+// Scenario describes one deployment under attack. The zero value of every
+// field selects the paper's §6 defaults.
+type Scenario struct {
+	// Duration is the run length; the attack spans [AttackStart, AttackStop).
+	Duration    time.Duration
+	AttackStart time.Duration
+	AttackStop  time.Duration
+
+	// NumClients clients issue ClientRate requests/second for RequestBytes
+	// of text; ClientsSolve selects patched kernels.
+	NumClients   int
+	ClientRate   float64
+	RequestBytes int
+	ClientsSolve bool
+
+	// Defense and Params configure the server; Backlog/AcceptBacklog size
+	// its queues and Workers its application pool (-1 disables the pool).
+	Defense       Defense
+	Params        puzzle.Params
+	Backlog       int
+	AcceptBacklog int
+	Workers       int
+
+	// Attack, BotCount, PerBotRate and BotsSolve configure the botnet.
+	Attack     Attack
+	BotCount   int
+	PerBotRate float64
+	BotsSolve  bool
+
+	// Seed drives all randomness; equal seeds reproduce runs bit-for-bit.
+	Seed int64
+}
+
+// Result holds materialised measurements from a completed scenario. All
+// series are per-second.
+type Result struct {
+	// ClientMbps is the mean per-client goodput.
+	ClientMbps []float64
+	// ServerMbps is the server's outgoing throughput.
+	ServerMbps []float64
+	// ServerCPUPct, ClientCPUPct, AttackerCPUPct are utilisation series.
+	ServerCPUPct   []float64
+	ClientCPUPct   []float64
+	AttackerCPUPct []float64
+	// ListenQueue and AcceptQueue are occupancy series.
+	ListenQueue []float64
+	AcceptQueue []float64
+	// AttackerEstablishedPerSec is the effective attack rate.
+	AttackerEstablishedPerSec []float64
+	// AttackerSentPerSec is the measured (post-CPU-limit) attack rate.
+	AttackerSentPerSec []float64
+	// Summary numbers over the attack phases.
+	ClientMbpsBefore, ClientMbpsDuring, ClientMbpsAfter float64
+	EffectiveAttackRate                                 float64
+}
+
+// Run executes a scenario to completion.
+func Run(sc Scenario) (*Result, error) {
+	cfg, err := sc.toConfig()
+	if err != nil {
+		return nil, err
+	}
+	run, err := experiments.RunFlood(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return materialise(run), nil
+}
+
+func (sc Scenario) toConfig() (experiments.FloodConfig, error) {
+	cfg := experiments.FloodConfig{
+		Duration:      sc.Duration,
+		AttackStart:   sc.AttackStart,
+		AttackStop:    sc.AttackStop,
+		NumClients:    sc.NumClients,
+		ClientRate:    sc.ClientRate,
+		RequestBytes:  sc.RequestBytes,
+		ClientsSolve:  sc.ClientsSolve,
+		Params:        sc.Params,
+		Backlog:       sc.Backlog,
+		AcceptBacklog: sc.AcceptBacklog,
+		Workers:       sc.Workers,
+		BotCount:      sc.BotCount,
+		PerBotRate:    sc.PerBotRate,
+		BotsSolve:     sc.BotsSolve,
+		Seed:          sc.Seed,
+	}
+	switch sc.Defense {
+	case "", DefensePuzzles:
+		cfg.Protection = serversim.ProtectionPuzzles
+	case DefenseNone:
+		cfg.Protection = serversim.ProtectionNone
+	case DefenseCookies:
+		cfg.Protection = serversim.ProtectionCookies
+	case DefenseSYNCache:
+		cfg.Protection = serversim.ProtectionSYNCache
+	default:
+		return cfg, fmt.Errorf("sim: unknown defense %q", sc.Defense)
+	}
+	switch sc.Attack {
+	case "", AttackConnFlood:
+		cfg.AttackKind = attacksim.ConnFlood
+	case AttackSYNFlood:
+		cfg.AttackKind = attacksim.SYNFlood
+	case AttackSolutionFlood:
+		cfg.AttackKind = attacksim.SolutionFlood
+	default:
+		return cfg, fmt.Errorf("sim: unknown attack %q", sc.Attack)
+	}
+	return cfg, nil
+}
+
+func materialise(run *experiments.FloodRun) *Result {
+	res := &Result{
+		ClientMbps:                run.ClientThroughputMbps(),
+		ServerMbps:                run.ServerThroughputMbps(),
+		ServerCPUPct:              run.ServerCPU(),
+		ClientCPUPct:              run.ClientCPU(),
+		AttackerCPUPct:            run.AttackerCPU(),
+		AttackerEstablishedPerSec: run.AttackerEstablishedRate(),
+		AttackerSentPerSec:        run.MeasuredAttackRate(),
+	}
+	res.ListenQueue, res.AcceptQueue = run.QueueSizes()
+	res.ClientMbpsBefore = run.PhaseMean(res.ClientMbps, experiments.PhaseBefore)
+	res.ClientMbpsDuring = run.PhaseMean(res.ClientMbps, experiments.PhaseDuring)
+	res.ClientMbpsAfter = run.PhaseMean(res.ClientMbps, experiments.PhaseAfter)
+	res.EffectiveAttackRate = run.AttackWindowMean(res.AttackerEstablishedPerSec)
+	return res
+}

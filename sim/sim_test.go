@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyScenario() Scenario {
+	return Scenario{
+		Duration:      60 * time.Second,
+		AttackStart:   15 * time.Second,
+		AttackStop:    45 * time.Second,
+		NumClients:    3,
+		ClientRate:    8,
+		ClientsSolve:  true,
+		Backlog:       128,
+		AcceptBacklog: 128,
+		Workers:       32,
+		BotCount:      3,
+		PerBotRate:    80,
+		BotsSolve:     true,
+		Seed:          5,
+	}
+}
+
+func TestRunPuzzlesScenario(t *testing.T) {
+	res, err := Run(tinyScenario())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ClientMbpsBefore <= 0 {
+		t.Errorf("ClientMbpsBefore = %v", res.ClientMbpsBefore)
+	}
+	if len(res.ClientMbps) == 0 || len(res.ServerMbps) == 0 {
+		t.Error("empty series")
+	}
+	if len(res.ListenQueue) == 0 || len(res.AcceptQueue) == 0 {
+		t.Error("empty queue series")
+	}
+	if len(res.AttackerSentPerSec) == 0 {
+		t.Error("empty attacker series")
+	}
+}
+
+func TestRunDefenseComparison(t *testing.T) {
+	sc := tinyScenario()
+	sc.Defense = DefenseNone
+	noDef, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run(none): %v", err)
+	}
+	sc.Defense = DefensePuzzles
+	puzzles, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run(puzzles): %v", err)
+	}
+	if puzzles.ClientMbpsDuring <= noDef.ClientMbpsDuring {
+		t.Errorf("puzzles during %v not above none %v",
+			puzzles.ClientMbpsDuring, noDef.ClientMbpsDuring)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(tinyScenario())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(tinyScenario())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if a.ClientMbpsDuring != b.ClientMbpsDuring ||
+		a.EffectiveAttackRate != b.EffectiveAttackRate {
+		t.Error("equal seeds produced different results")
+	}
+	c := tinyScenario()
+	c.Seed = 6
+	other, err := Run(c)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if other.ClientMbpsBefore == a.ClientMbpsBefore &&
+		other.EffectiveAttackRate == a.EffectiveAttackRate {
+		t.Log("different seeds produced identical summary (possible but unlikely)")
+	}
+}
+
+func TestRunRejectsUnknownConfig(t *testing.T) {
+	sc := tinyScenario()
+	sc.Defense = "voodoo"
+	if _, err := Run(sc); err == nil {
+		t.Error("unknown defense accepted")
+	}
+	sc = tinyScenario()
+	sc.Attack = "tsunami"
+	if _, err := Run(sc); err == nil {
+		t.Error("unknown attack accepted")
+	}
+}
+
+func TestExperimentIDsComplete(t *testing.T) {
+	ids := ExperimentIDs()
+	want := []string{
+		"fig3a", "fig3b", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "tab1", "nash",
+		"ablation-opportunistic", "ablation-solutionflood",
+		"ablation-membound", "ablation-adaptive",
+	}
+	have := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("got %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+}
+
+func TestRunExperimentQuick(t *testing.T) {
+	// Smoke-run the cheap experiments end to end through the public API.
+	for _, id := range []string{"fig3a", "fig3b", "tab1", "nash"} {
+		tables, err := RunExperiment(id, ScaleQuick)
+		if err != nil {
+			t.Fatalf("RunExperiment(%s): %v", id, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("RunExperiment(%s): no tables", id)
+		}
+		out := tables[0].String()
+		if !strings.Contains(out, "==") {
+			t.Errorf("RunExperiment(%s) output missing title: %q", id, out)
+		}
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := RunExperiment("fig99", ScaleQuick); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := RunExperiment("fig8", "mega"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package tcpopt
+
+import (
+	"testing"
+
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+)
+
+// FuzzParseOptions exercises the options parser on arbitrary bytes: it must
+// never panic, and anything it parses must re-marshal and re-parse to the
+// same structure.
+func FuzzParseOptions(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{KindNOP, KindNOP, KindEOL})
+	f.Add([]byte{KindMSS, 4, 0x05, 0xb4})
+	f.Add([]byte{KindChallenge, 3, 0xff})
+	f.Add([]byte{KindSolution, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		opts, err := ParseOptions(data)
+		if err != nil {
+			return
+		}
+		remarshalled, err := MarshalOptions(opts)
+		if err != nil {
+			// Parsed options can exceed marshal limits (e.g. >40 bytes of
+			// input); that is allowed.
+			return
+		}
+		again, err := ParseOptions(remarshalled)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if len(again) != len(opts) {
+			t.Fatalf("round trip changed option count: %d → %d", len(opts), len(again))
+		}
+		for i := range opts {
+			if again[i].Kind != opts[i].Kind || string(again[i].Data) != string(opts[i].Data) {
+				t.Fatalf("option %d changed: %+v → %+v", i, opts[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzParseChallenge exercises the challenge block decoder.
+func FuzzParseChallenge(f *testing.F) {
+	valid, _ := EncodeChallenge(puzzle.Challenge{
+		Params:    puzzle.Params{K: 2, M: 8, L: 32},
+		Timestamp: 42,
+		Preimage:  []byte{1, 2, 3, 4},
+	}, true)
+	f.Add(valid.Data)
+	f.Add([]byte{})
+	f.Add([]byte{2, 8, 32})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		blk, err := ParseChallenge(Option{Kind: KindChallenge, Data: data})
+		if err != nil {
+			return
+		}
+		// Whatever parsed must encode back losslessly.
+		opt, err := EncodeChallenge(blk.Challenge, blk.HasTimestamp)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		again, err := ParseChallenge(opt)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if again.Challenge.Params != blk.Challenge.Params {
+			t.Fatalf("params changed: %v → %v", blk.Challenge.Params, again.Challenge.Params)
+		}
+	})
+}
+
+// FuzzParseSolution exercises the solution block decoder against the
+// default server parameters.
+func FuzzParseSolution(f *testing.F) {
+	params := puzzle.Params{K: 2, M: 17, L: 32}
+	sol := puzzle.Solution{
+		Params:    params,
+		Timestamp: 7,
+		Solutions: [][]byte{{1, 2, 3, 4}, {5, 6, 7, 8}},
+	}
+	valid, _ := EncodeSolution(SolutionBlock{MSS: 1460, WScale: 7, HasTimestamp: true, Solution: sol})
+	f.Add(valid.Data)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		blk, err := ParseSolution(Option{Kind: KindSolution, Data: data}, params)
+		if err != nil {
+			return
+		}
+		if len(blk.Solution.Solutions) != int(params.K) {
+			t.Fatalf("parsed %d solutions, want %d", len(blk.Solution.Solutions), params.K)
+		}
+		for _, s := range blk.Solution.Solutions {
+			if len(s) != params.SolutionBytes() {
+				t.Fatalf("solution length %d, want %d", len(s), params.SolutionBytes())
+			}
+		}
+	})
+}
