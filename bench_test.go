@@ -14,26 +14,76 @@
 package tcppuzzles_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"github.com/tcppuzzles/tcppuzzles/internal/experiments"
 	"github.com/tcppuzzles/tcppuzzles/membound"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sim"
 )
 
 // benchScale is the reduced deployment used by the figure benches.
-func benchScale() experiments.FloodScale {
-	return experiments.FloodScale{
+func benchScale() experiments.Scale {
+	return experiments.Scale{
 		Duration: 60 * time.Second, AttackStart: 15 * time.Second, AttackStop: 45 * time.Second,
 		NumClients: 4, ClientRate: 8, BotCount: 4, PerBotRate: 80,
 		Backlog: 128, AcceptBacklog: 128, Workers: 48, Seed: 42,
 	}
 }
 
+// runnerGrid is the scenario set behind BenchmarkRunnerParallel: six
+// QuickScale deployments mixing defenses, attacks and seeds.
+func runnerGrid() []sim.Scenario {
+	quick := experiments.QuickScale()
+	grid := quick.ApplyAll(
+		sim.Scenario{Label: "puzzles-conn", Defense: sim.DefensePuzzles,
+			Attack: sim.AttackConnFlood, ClientsSolve: true, BotsSolve: true},
+		sim.Scenario{Label: "cookies-syn", Defense: sim.DefenseCookies,
+			Attack: sim.AttackSYNFlood, ClientsSolve: true},
+		sim.Scenario{Label: "none-conn", Defense: sim.DefenseNone,
+			Attack: sim.AttackConnFlood, ClientsSolve: true},
+		sim.Scenario{Label: "syncache-syn", Defense: sim.DefenseSYNCache,
+			Attack: sim.AttackSYNFlood, ClientsSolve: true},
+		sim.Scenario{Label: "puzzles-syn", Defense: sim.DefensePuzzles,
+			Attack: sim.AttackSYNFlood, ClientsSolve: true},
+		sim.Scenario{Label: "puzzles-solution", Defense: sim.DefensePuzzles,
+			Attack: sim.AttackSolutionFlood, ClientsSolve: true},
+	)
+	for i := range grid {
+		grid[i].Seed = int64(1 + i)
+	}
+	return grid
+}
+
+// BenchmarkRunnerParallel measures the work-stealing runner's wall-clock
+// scaling over the QuickScale scenario grid. Expect workers=4 to complete
+// in well under half the workers=1 time on a 4+-core machine, with
+// byte-identical results (verified in TestRunAllMatchesSequentialRun and
+// TestRunScenariosDeterministicAcrossWorkers). The simulation jobs are
+// CPU-bound, so the observable speedup is capped by the cores the
+// container actually grants (a single-core runner shows ~1x).
+func BenchmarkRunnerParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			grid := runnerGrid()
+			for i := 0; i < b.N; i++ {
+				results, err := sim.RunAll(workers, grid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(results) != len(grid) {
+					b.Fatalf("got %d results, want %d", len(results), len(grid))
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkFig3aClientProfile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3a()
+		res, err := experiments.Fig3a(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -43,7 +93,7 @@ func BenchmarkFig3aClientProfile(b *testing.B) {
 
 func BenchmarkFig3bServerProfile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3b()
+		res, err := experiments.Fig3b(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,14 +237,17 @@ func BenchmarkFig15Adoption(b *testing.B) {
 
 func BenchmarkTable1IoTProfile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.Table1()
+		res, err := experiments.Table1(0)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(res.Rows[0].MaxFloodRateCPS, "d1-max-flood-cps")
 	}
 }
 
 func BenchmarkNashExample(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.NashExample()
+		res, err := experiments.NashExample(0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,10 +1,12 @@
 // Command tcpz-exp runs the paper's experiments and prints their result
-// tables.
+// tables. Each experiment's scenario grid fans out across the
+// work-stealing runner; -workers bounds the pool (0 = all cores). Results
+// are identical at every worker count.
 //
 // Usage:
 //
 //	tcpz-exp -exp fig8 -scale paper
-//	tcpz-exp -exp all -scale quick
+//	tcpz-exp -exp all -scale quick -workers 4
 //	tcpz-exp -list
 package main
 
@@ -29,6 +31,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("tcpz-exp", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment id (see -list) or 'all'")
 	scale := fs.String("scale", "quick", "experiment scale: quick or paper")
+	workers := fs.Int("workers", 0, "runner pool width (0 = all cores, 1 = serial)")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,7 +46,7 @@ func run(args []string) error {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		tables, err := sim.RunExperiment(id, sim.Scale(*scale))
+		tables, err := sim.RunExperiment(id, sim.Scale(*scale), sim.WithWorkers(*workers))
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}

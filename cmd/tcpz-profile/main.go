@@ -5,9 +5,10 @@
 //
 // Usage:
 //
-//	tcpz-profile                 # profile this machine
+//	tcpz-profile                 # profile one core of this machine
 //	tcpz-profile -alpha 1.1      # also compute (k*, m*)
 //	tcpz-profile -budget 400ms -duration 2s
+//	tcpz-profile -cores 8        # aggregate rate across 8 cores
 package main
 
 import (
@@ -16,9 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/tcppuzzles/tcppuzzles/game"
+	"github.com/tcppuzzles/tcppuzzles/sim/runner"
 )
 
 func main() {
@@ -33,13 +36,41 @@ func run(args []string) error {
 	duration := fs.Duration("duration", 2*time.Second, "measurement length")
 	budget := fs.Duration("budget", 400*time.Millisecond, "handshake usability budget")
 	alpha := fs.Float64("alpha", 1.1, "server service parameter α (from a stress test)")
+	cores := fs.Int("cores", 1, "measure this many cores in parallel (a solver uses one)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *cores < 1 {
+		*cores = 1
+	}
+	if max := runtime.GOMAXPROCS(0); *cores > max {
+		// More busy-loop goroutines than cores would time-share and
+		// understate every per-core number.
+		fmt.Fprintf(os.Stderr, "tcpz-profile: clamping -cores %d to the %d available\n", *cores, max)
+		*cores = max
+	}
 
+	// The solver of a single connection is single-threaded, so w derives
+	// from an undisturbed solo measurement.
 	rate := measureHashRate(*duration)
 	wav := game.WavFromHashRate(rate, *budget)
-	fmt.Printf("SHA-256 rate        %.0f hashes/s\n", rate)
+	fmt.Printf("SHA-256 rate        %.0f hashes/s (single core)\n", rate)
+	if *cores > 1 {
+		// The aggregate rate bounds what a multi-core flooder on this
+		// machine could solve; one measurement job per core on the
+		// work-stealing runner.
+		rates, err := runner.Map(*cores, *cores, func(int) (float64, error) {
+			return measureHashRate(*duration), nil
+		})
+		if err != nil {
+			return err
+		}
+		var total float64
+		for _, r := range rates {
+			total += r
+		}
+		fmt.Printf("aggregate rate      %.0f hashes/s across %d cores\n", total, *cores)
+	}
 	fmt.Printf("w (hashes in %v)    %.0f\n", *budget, wav)
 
 	params, err := game.SelectParams(wav, *alpha, game.SelectionConfig{})

@@ -1,0 +1,3 @@
+module github.com/tcppuzzles/tcppuzzles
+
+go 1.24.0

@@ -3,8 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
-	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
 )
 
@@ -18,29 +16,26 @@ type AblationOpportunisticResult struct {
 // AblationOpportunistic runs the design-choice ablation: the opportunistic
 // controller lets clients connect instantly whenever queue slots exist (the
 // Fig. 8 throughput spikes), while always-on challenges tax every
-// connection even in peacetime.
-func AblationOpportunistic(scale FloodScale) (*AblationOpportunisticResult, error) {
-	base := FloodConfig{
-		Protection:   serversim.ProtectionPuzzles,
+// connection even in peacetime. Both arms run in parallel on the shared
+// runner.
+func AblationOpportunistic(scale Scale) (*AblationOpportunisticResult, error) {
+	base := Scenario{
+		Defense:      DefensePuzzles,
 		Params:       puzzle.Params{K: 2, M: 17, L: 32},
-		AttackKind:   attacksim.ConnFlood,
+		Attack:       AttackConnFlood,
 		ClientsSolve: true,
 		BotsSolve:    true,
 	}
 	opp := base
 	opp.Label = "opportunistic"
-	oppRun, err := RunFlood(scale.apply(opp))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: ablation opportunistic: %w", err)
-	}
 	always := base
 	always.Label = "always-on"
 	always.AlwaysChallenge = true
-	alwaysRun, err := RunFlood(scale.apply(always))
+	runs, err := RunScenarios(scale.Parallelism, scale.ApplyAll(opp, always))
 	if err != nil {
-		return nil, fmt.Errorf("experiments: ablation always-on: %w", err)
+		return nil, fmt.Errorf("experiments: ablation opportunistic: %w", err)
 	}
-	return &AblationOpportunisticResult{Opportunistic: oppRun, AlwaysOn: alwaysRun}, nil
+	return &AblationOpportunisticResult{Opportunistic: runs[0], AlwaysOn: runs[1]}, nil
 }
 
 // Table contrasts peacetime and wartime client throughput.
@@ -72,18 +67,18 @@ type AblationSolutionFloodResult struct {
 
 // AblationSolutionFlood floods the server with fabricated solutions and
 // reports the induced verification load.
-func AblationSolutionFlood(scale FloodScale) (*AblationSolutionFloodResult, error) {
-	run, err := RunFlood(scale.apply(FloodConfig{
+func AblationSolutionFlood(scale Scale) (*AblationSolutionFloodResult, error) {
+	runs, err := RunScenarios(scale.Parallelism, scale.ApplyAll(Scenario{
 		Label:        "solution-flood",
-		Protection:   serversim.ProtectionPuzzles,
+		Defense:      DefensePuzzles,
 		Params:       puzzle.Params{K: 2, M: 17, L: 32},
-		AttackKind:   attacksim.SolutionFlood,
+		Attack:       AttackSolutionFlood,
 		ClientsSolve: true,
 	}))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ablation solution flood: %w", err)
 	}
-	return &AblationSolutionFloodResult{Run: run}, nil
+	return &AblationSolutionFloodResult{Run: runs[0]}, nil
 }
 
 // Table reports server CPU and rejection counters.

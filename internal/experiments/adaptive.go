@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
-	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
 )
 
@@ -24,11 +22,11 @@ type AblationAdaptiveResult struct {
 // connection flood of smart solving bots that keep their solutions fresh.
 // The adaptive server must climb towards an effective difficulty and decay
 // back after the attack.
-func AblationAdaptive(scale FloodScale) (*AblationAdaptiveResult, error) {
-	base := FloodConfig{
-		Protection:   serversim.ProtectionPuzzles,
+func AblationAdaptive(scale Scale) (*AblationAdaptiveResult, error) {
+	base := Scenario{
+		Defense:      DefensePuzzles,
 		Params:       puzzle.Params{K: 2, M: 12, L: 32},
-		AttackKind:   attacksim.ConnFlood,
+		Attack:       AttackConnFlood,
 		ClientsSolve: true,
 		BotsSolve:    true,
 		// Smart bots bound their backlog so solutions stay fresh — the
@@ -38,17 +36,14 @@ func AblationAdaptive(scale FloodScale) (*AblationAdaptiveResult, error) {
 	}
 	fixed := base
 	fixed.Label = "fixed-m12"
-	fixedRun, err := RunFlood(scale.apply(fixed))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: adaptive ablation fixed: %w", err)
-	}
 	adaptive := base
 	adaptive.Label = "adaptive"
 	adaptive.AdaptiveDifficulty = true
-	adaptiveRun, err := RunFlood(scale.apply(adaptive))
+	runs, err := RunScenarios(scale.Parallelism, scale.ApplyAll(fixed, adaptive))
 	if err != nil {
-		return nil, fmt.Errorf("experiments: adaptive ablation adaptive: %w", err)
+		return nil, fmt.Errorf("experiments: adaptive ablation: %w", err)
 	}
+	fixedRun, adaptiveRun := runs[0], runs[1]
 	res := &AblationAdaptiveResult{Fixed: fixedRun, Adaptive: adaptiveRun}
 	res.MTrace = adaptiveRun.Server.Metrics().DifficultyM.Sampled(
 		adaptiveRun.Cfg.Bucket, adaptiveRun.Cfg.Duration)

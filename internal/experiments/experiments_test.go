@@ -7,8 +7,8 @@ import (
 )
 
 // tinyScale keeps unit tests fast while preserving the attack structure.
-func tinyScale() FloodScale {
-	return FloodScale{
+func tinyScale() Scale {
+	return Scale{
 		Duration: 60 * time.Second, AttackStart: 15 * time.Second, AttackStop: 45 * time.Second,
 		NumClients: 4, ClientRate: 8, BotCount: 4, PerBotRate: 80,
 		Backlog: 128, AcceptBacklog: 128, Workers: 48, Seed: 42,
@@ -16,7 +16,7 @@ func tinyScale() FloodScale {
 }
 
 func TestFig3aProfiles(t *testing.T) {
-	res, err := Fig3a()
+	res, err := Fig3a(0)
 	if err != nil {
 		t.Fatalf("Fig3a: %v", err)
 	}
@@ -32,7 +32,7 @@ func TestFig3aProfiles(t *testing.T) {
 }
 
 func TestFig3bAlphaConverges(t *testing.T) {
-	res, err := Fig3b()
+	res, err := Fig3b(0)
 	if err != nil {
 		t.Fatalf("Fig3b: %v", err)
 	}
@@ -296,7 +296,10 @@ func TestFig15AdoptionOutcomes(t *testing.T) {
 }
 
 func TestTable1DerivedColumns(t *testing.T) {
-	res := Table1()
+	res, err := Table1(0)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
 	if len(res.Rows) != 4 {
 		t.Fatalf("rows = %d, want 4", len(res.Rows))
 	}
@@ -313,7 +316,7 @@ func TestTable1DerivedColumns(t *testing.T) {
 }
 
 func TestNashExampleMatchesPaper(t *testing.T) {
-	res, err := NashExample()
+	res, err := NashExample(0)
 	if err != nil {
 		t.Fatalf("NashExample: %v", err)
 	}
@@ -367,7 +370,10 @@ func TestTablesRender(t *testing.T) {
 	if s := f8.Table().String(); len(s) == 0 {
 		t.Error("empty fig8 table")
 	}
-	t1 := Table1()
+	t1, err := Table1(0)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
 	if s := t1.Table().String(); len(s) == 0 {
 		t.Error("empty table1")
 	}

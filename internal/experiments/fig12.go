@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
-	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
 	"github.com/tcppuzzles/tcppuzzles/internal/stats"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
 )
@@ -16,8 +14,8 @@ type Fig12Config struct {
 	// {12,15,16,17,18,20}.
 	Ks []uint8
 	Ms []uint8
-	// Scale sets the underlying flood scenario.
-	Scale FloodScale
+	// Scale sets the underlying flood scenario (and the runner width).
+	Scale Scale
 }
 
 func (c *Fig12Config) fill() {
@@ -28,7 +26,9 @@ func (c *Fig12Config) fill() {
 		c.Ms = []uint8{12, 15, 16, 17, 18, 20}
 	}
 	if c.Scale.Duration == 0 {
+		parallelism := c.Scale.Parallelism
 		c.Scale = PaperScale()
+		c.Scale.Parallelism = parallelism
 	}
 }
 
@@ -46,18 +46,19 @@ type Fig12Result struct {
 
 // Fig12 sweeps puzzle difficulties during a connection flood and reports
 // client-throughput box statistics per (k, m) — the Nash cell (2,17) should
-// show the most stable (lowest-variance) throughput.
+// show the most stable (lowest-variance) throughput. The whole (k, m) grid
+// is declared up front and executed in parallel on the shared runner.
 func Fig12(cfg Fig12Config) (*Fig12Result, error) {
 	cfg.fill()
-	res := &Fig12Result{}
+	var grid []Scenario
 	for _, k := range cfg.Ks {
 		for _, m := range cfg.Ms {
 			params := puzzle.Params{K: k, M: m, L: 32}
-			run, err := RunFlood(cfg.Scale.apply(FloodConfig{
+			grid = append(grid, Scenario{
 				Label:        params.String(),
-				Protection:   serversim.ProtectionPuzzles,
+				Defense:      DefensePuzzles,
 				Params:       params,
-				AttackKind:   attacksim.ConnFlood,
+				Attack:       AttackConnFlood,
 				ClientsSolve: true,
 				BotsSolve:    true,
 				// The difficulty sweep assumes the strongest attacker:
@@ -65,15 +66,19 @@ func Fig12(cfg Fig12Config) (*Fig12Result, error) {
 				// A greedy flooder's solutions go stale at any m, which
 				// would make every difficulty look equally effective.
 				BotMaxSolveBacklog: 2 * time.Second,
-			}))
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig12 %v: %w", params, err)
-			}
-			res.Cells = append(res.Cells, Fig12Cell{
-				Params: params,
-				Box:    stats.BoxOf(run.ClientThroughputSamplesDuringAttack()),
 			})
 		}
+	}
+	runs, err := RunScenarios(cfg.Scale.Parallelism, cfg.Scale.ApplyAll(grid...))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig12: %w", err)
+	}
+	res := &Fig12Result{}
+	for i, run := range runs {
+		res.Cells = append(res.Cells, Fig12Cell{
+			Params: grid[i].Params,
+			Box:    stats.BoxOf(run.ClientThroughputSamplesDuringAttack()),
+		})
 	}
 	return res, nil
 }

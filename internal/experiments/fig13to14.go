@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
-	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
 )
 
@@ -26,20 +24,21 @@ type Fig13Result struct {
 }
 
 // Fig13 fixes a 5-bot botnet and sweeps the per-node rate, reproducing the
-// finding that rate increases do not raise the effective attack rate.
-func Fig13(scale FloodScale, rates []float64) (*Fig13Result, error) {
+// finding that rate increases do not raise the effective attack rate. All
+// sweep points run in parallel on the shared runner.
+func Fig13(scale Scale, rates []float64) (*Fig13Result, error) {
 	if len(rates) == 0 {
 		rates = []float64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
 	}
-	res := &Fig13Result{}
-	for _, rate := range rates {
-		point, err := botnetSweepPoint(scale, 5, rate, fmt.Sprintf("%.0f pps/node", rate))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig13 rate %v: %w", rate, err)
-		}
-		res.Points = append(res.Points, point)
+	grid := make([]Scenario, len(rates))
+	for i, rate := range rates {
+		grid[i] = botnetSweepScenario(scale, 5, rate, fmt.Sprintf("%.0f pps/node", rate))
 	}
-	return res, nil
+	points, err := runSweep(scale.Parallelism, grid)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig13: %w", err)
+	}
+	return &Fig13Result{Points: points}, nil
 }
 
 // Table renders the rate sweep.
@@ -54,24 +53,25 @@ type Fig14Result struct {
 
 // Fig14 fixes the cumulative attack rate at 5000 pps and sweeps the botnet
 // size, reproducing the finding that only more machines raise the effective
-// rate — and only marginally (≈1/100 of the measured rate).
-func Fig14(scale FloodScale, sizes []int, totalRate float64) (*Fig14Result, error) {
+// rate — and only marginally (≈1/100 of the measured rate). All sweep
+// points run in parallel on the shared runner.
+func Fig14(scale Scale, sizes []int, totalRate float64) (*Fig14Result, error) {
 	if len(sizes) == 0 {
 		sizes = []int{2, 4, 6, 8, 10, 12, 14}
 	}
 	if totalRate == 0 {
 		totalRate = 5000
 	}
-	res := &Fig14Result{}
-	for _, size := range sizes {
-		point, err := botnetSweepPoint(scale, size, totalRate/float64(size),
+	grid := make([]Scenario, len(sizes))
+	for i, size := range sizes {
+		grid[i] = botnetSweepScenario(scale, size, totalRate/float64(size),
 			fmt.Sprintf("%d bots", size))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig14 size %d: %w", size, err)
-		}
-		res.Points = append(res.Points, point)
 	}
-	return res, nil
+	points, err := runSweep(scale.Parallelism, grid)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig14: %w", err)
+	}
+	return &Fig14Result{Points: points}, nil
 }
 
 // Table renders the size sweep.
@@ -79,30 +79,42 @@ func (r *Fig14Result) Table() Table {
 	return sweepTable("Fig 14 — botnet size sweep (5000 pps total)", r.Points)
 }
 
-// botnetSweepPoint runs one connection flood with solving bots at the Nash
-// difficulty and measures attempted vs completed rates during the attack.
-func botnetSweepPoint(scale FloodScale, bots int, perBotRate float64, label string) (SweepPoint, error) {
-	scale.BotCount = bots
-	scale.PerBotRate = perBotRate
-	run, err := RunFlood(scale.apply(FloodConfig{
+// botnetSweepScenario declares one connection flood with solving bots at
+// the Nash difficulty and the given botnet shape.
+func botnetSweepScenario(scale Scale, bots int, perBotRate float64, label string) Scenario {
+	sc := scale.Apply(Scenario{
 		Label:        label,
-		Protection:   serversim.ProtectionPuzzles,
+		Defense:      DefensePuzzles,
 		Params:       puzzle.Params{K: 2, M: 17, L: 32},
-		AttackKind:   attacksim.ConnFlood,
+		Attack:       AttackConnFlood,
 		ClientsSolve: true,
 		BotsSolve:    true,
 		// Strongest attacker: solutions kept fresh, so the completion
 		// rate reflects the per-bot CPU bound rather than staleness.
 		BotMaxSolveBacklog: 2 * time.Second,
-	}))
+	})
+	// The sweep coordinate overrides the scale's botnet shape.
+	sc.BotCount = bots
+	sc.PerBotRate = perBotRate
+	return sc
+}
+
+// runSweep executes the sweep grid and measures attempted vs completed
+// rates during the attack window.
+func runSweep(workers int, grid []Scenario) ([]SweepPoint, error) {
+	runs, err := RunScenarios(workers, grid)
 	if err != nil {
-		return SweepPoint{}, err
+		return nil, err
 	}
-	return SweepPoint{
-		Label:              label,
-		MeasuredAttackRate: run.AttackWindowMean(run.MeasuredAttackRate()),
-		CompletionRate:     run.AttackWindowMean(run.AttackerEstablishedRate()),
-	}, nil
+	points := make([]SweepPoint, len(runs))
+	for i, run := range runs {
+		points[i] = SweepPoint{
+			Label:              grid[i].Label,
+			MeasuredAttackRate: run.AttackWindowMean(run.MeasuredAttackRate()),
+			CompletionRate:     run.AttackWindowMean(run.AttackerEstablishedRate()),
+		}
+	}
+	return points, nil
 }
 
 func sweepTable(title string, points []SweepPoint) Table {

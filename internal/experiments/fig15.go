@@ -3,8 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
-	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
 )
 
@@ -46,23 +44,29 @@ type Fig15Result struct {
 // and non-solving attackers under a connection flood at the Nash
 // difficulty. Solving clients are almost always served; non-solving clients
 // see erratic service against solving attackers and near-zero service
-// against non-solving attackers.
-func Fig15(scale FloodScale) (*Fig15Result, error) {
-	res := &Fig15Result{}
-	for _, sc := range Fig15Scenarios() {
-		run, err := RunFlood(scale.apply(FloodConfig{
-			Label:        sc.Label,
-			Protection:   serversim.ProtectionPuzzles,
+// against non-solving attackers. The four adoption mixes run in parallel
+// on the shared runner.
+func Fig15(scale Scale) (*Fig15Result, error) {
+	mixes := Fig15Scenarios()
+	grid := make([]Scenario, len(mixes))
+	for i, mix := range mixes {
+		grid[i] = Scenario{
+			Label:        mix.Label,
+			Defense:      DefensePuzzles,
 			Params:       puzzle.Params{K: 2, M: 17, L: 32},
-			AttackKind:   attacksim.ConnFlood,
-			ClientsSolve: sc.ClientSolves,
-			BotsSolve:    sc.AttackSolves,
-		}))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig15 %s: %w", sc.Label, err)
+			Attack:       AttackConnFlood,
+			ClientsSolve: mix.ClientSolves,
+			BotsSolve:    mix.AttackSolves,
 		}
+	}
+	runs, err := RunScenarios(scale.Parallelism, scale.ApplyAll(grid...))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig15: %w", err)
+	}
+	res := &Fig15Result{}
+	for i, run := range runs {
 		res.Cells = append(res.Cells, Fig15Cell{
-			Scenario:       sc,
+			Scenario:       mixes[i],
 			PctEstablished: pctEstablishedDuring(run),
 			Series:         pctSeries(run),
 		})

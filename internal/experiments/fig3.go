@@ -6,6 +6,7 @@ import (
 	"github.com/tcppuzzles/tcppuzzles/game"
 	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
 	"github.com/tcppuzzles/tcppuzzles/internal/mm1"
+	"github.com/tcppuzzles/tcppuzzles/sim/runner"
 )
 
 // Fig3aResult is the client performance profile of Fig. 3a: cumulative
@@ -17,17 +18,25 @@ type Fig3aResult struct {
 	Wav     float64
 }
 
-// Fig3a profiles the paper's three client CPUs over one second.
-func Fig3a() (*Fig3aResult, error) {
+// Fig3a profiles the paper's three client CPUs over one second, one
+// runner job per device. workers bounds the pool (0 = GOMAXPROCS).
+func Fig3a(workers int) (*Fig3aResult, error) {
 	const (
 		step    = 100 * time.Millisecond
 		horizon = time.Second
 	)
-	res := &Fig3aResult{Step: step, Horizon: horizon, Curves: map[string][]float64{}}
-	for _, dev := range cpumodel.ClientCPUs() {
-		res.Curves[dev.Name] = cpumodel.HashCurve(dev, step, horizon)
+	devices := cpumodel.ClientCPUs()
+	curves, err := runner.Map(workers, len(devices), func(i int) ([]float64, error) {
+		return cpumodel.HashCurve(devices[i], step, horizon), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wav, err := cpumodel.FleetWav(cpumodel.ClientCPUs(), 400*time.Millisecond)
+	res := &Fig3aResult{Step: step, Horizon: horizon, Curves: map[string][]float64{}}
+	for i, dev := range devices {
+		res.Curves[dev.Name] = curves[i]
+	}
+	wav, err := cpumodel.FleetWav(devices, 400*time.Millisecond)
 	if err != nil {
 		return nil, err
 	}
@@ -70,29 +79,31 @@ type Fig3bPoint struct {
 }
 
 // Fig3b stress-tests the modelled Apache deployment across concurrency
-// levels (the ab sweep) and extracts the converged α.
-func Fig3b() (*Fig3bResult, error) {
+// levels (the ab sweep) and extracts the converged α. workers bounds the
+// per-level runner pool (0 = GOMAXPROCS).
+func Fig3b(workers int) (*Fig3bResult, error) {
 	cfg := mm1.PaperStress()
 	levels := []int{1, 5, 10, 25, 50, 100, 200, 400, 600, 800, 1000}
 	points := cfg.Sweep(levels)
-	res := &Fig3bResult{}
-	for _, p := range points {
-		a, err := game.Alpha(p)
+	sweep, err := runner.Map(workers, len(points), func(i int) (Fig3bPoint, error) {
+		a, err := game.Alpha(points[i])
 		if err != nil {
-			return nil, err
+			return Fig3bPoint{}, err
 		}
-		res.Points = append(res.Points, Fig3bPoint{
-			Concurrent:  p.Concurrent,
-			ServiceRate: p.ServiceRate,
+		return Fig3bPoint{
+			Concurrent:  points[i].Concurrent,
+			ServiceRate: points[i].ServiceRate,
 			Alpha:       a,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	alpha, err := game.AlphaFromStress(points)
 	if err != nil {
 		return nil, err
 	}
-	res.Alpha = alpha
-	return res, nil
+	return &Fig3bResult{Points: sweep, Alpha: alpha}, nil
 }
 
 // Table renders the Fig. 3b sweep.

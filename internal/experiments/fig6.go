@@ -10,6 +10,7 @@ import (
 	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
 	"github.com/tcppuzzles/tcppuzzles/internal/stats"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sim/runner"
 )
 
 // Fig6Config scales Experiment 1 (connection-time CDFs across k and m).
@@ -22,6 +23,8 @@ type Fig6Config struct {
 	Connections int
 	// Seed drives randomness.
 	Seed int64
+	// Parallelism is the runner width for the grid (0 = GOMAXPROCS).
+	Parallelism int
 }
 
 func (c *Fig6Config) fill() {
@@ -58,18 +61,21 @@ type Fig6Result struct {
 // is preserved.
 func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 	cfg.fill()
-	res := &Fig6Result{}
+	var grid []puzzle.Params
 	for _, k := range cfg.Ks {
 		for _, m := range cfg.Ms {
-			params := puzzle.Params{K: k, M: m, L: 32}
-			cell, err := fig6Cell(params, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: fig6 %v: %w", params, err)
-			}
-			res.Cells = append(res.Cells, cell)
+			grid = append(grid, puzzle.Params{K: k, M: m, L: 32})
 		}
 	}
-	return res, nil
+	// Each cell builds its own engine, server and client from the cell's
+	// derived seed, so the grid fans out on the shared runner.
+	cells, err := runner.Map(cfg.Parallelism, len(grid), func(i int) (Fig6Cell, error) {
+		return fig6Cell(grid[i], cfg)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig6: %w", err)
+	}
+	return &Fig6Result{Cells: cells}, nil
 }
 
 func fig6Cell(params puzzle.Params, cfg Fig6Config) (Fig6Cell, error) {

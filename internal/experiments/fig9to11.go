@@ -3,8 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
-	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
 )
 
@@ -16,19 +14,19 @@ type Fig9Result struct {
 
 // Fig9 runs a connection flood at the Nash difficulty and reports CPU
 // utilisation at clients, server and attackers.
-func Fig9(scale FloodScale) (*Fig9Result, error) {
-	run, err := RunFlood(scale.apply(FloodConfig{
+func Fig9(scale Scale) (*Fig9Result, error) {
+	runs, err := RunScenarios(scale.Parallelism, scale.ApplyAll(Scenario{
 		Label:        "challenges-m17",
-		Protection:   serversim.ProtectionPuzzles,
+		Defense:      DefensePuzzles,
 		Params:       puzzle.Params{K: 2, M: 17, L: 32},
-		AttackKind:   attacksim.ConnFlood,
+		Attack:       AttackConnFlood,
 		ClientsSolve: true,
 		BotsSolve:    true,
 	}))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig9: %w", err)
 	}
-	return &Fig9Result{Run: run}, nil
+	return &Fig9Result{Run: runs[0]}, nil
 }
 
 // Table reports phase means and peaks of %CPU per role.
@@ -71,30 +69,30 @@ type Fig10Result struct {
 	Cookies *FloodRun
 }
 
-// Fig10 runs the two defenses and captures listen/accept queue sizes.
-func Fig10(scale FloodScale) (*Fig10Result, error) {
-	puzzles, err := RunFlood(scale.apply(FloodConfig{
-		Label:        "challenges",
-		Protection:   serversim.ProtectionPuzzles,
-		Params:       puzzle.Params{K: 2, M: 17, L: 32},
-		AttackKind:   attacksim.ConnFlood,
-		ClientsSolve: true,
-		BotsSolve:    true,
-	}))
+// Fig10 runs the two defenses in parallel and captures listen/accept queue
+// sizes.
+func Fig10(scale Scale) (*Fig10Result, error) {
+	runs, err := RunScenarios(scale.Parallelism, scale.ApplyAll(
+		Scenario{
+			Label:        "challenges",
+			Defense:      DefensePuzzles,
+			Params:       puzzle.Params{K: 2, M: 17, L: 32},
+			Attack:       AttackConnFlood,
+			ClientsSolve: true,
+			BotsSolve:    true,
+		},
+		Scenario{
+			Label:        "cookies",
+			Defense:      DefenseCookies,
+			Attack:       AttackConnFlood,
+			ClientsSolve: true,
+			BotsSolve:    true,
+		},
+	))
 	if err != nil {
-		return nil, fmt.Errorf("experiments: fig10 puzzles: %w", err)
+		return nil, fmt.Errorf("experiments: fig10: %w", err)
 	}
-	cookies, err := RunFlood(scale.apply(FloodConfig{
-		Label:        "cookies",
-		Protection:   serversim.ProtectionCookies,
-		AttackKind:   attacksim.ConnFlood,
-		ClientsSolve: true,
-		BotsSolve:    true,
-	}))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig10 cookies: %w", err)
-	}
-	return &Fig10Result{Puzzles: puzzles, Cookies: cookies}, nil
+	return &Fig10Result{Puzzles: runs[0], Cookies: runs[1]}, nil
 }
 
 // Table reports queue occupancy during the attack.
@@ -137,7 +135,7 @@ type Fig11Result struct {
 
 // Fig11 reuses the Fig. 10 scenario pair and extracts attacker completion
 // rates.
-func Fig11(scale FloodScale) (*Fig11Result, error) {
+func Fig11(scale Scale) (*Fig11Result, error) {
 	f10, err := Fig10(scale)
 	if err != nil {
 		return nil, err

@@ -2,75 +2,28 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
-	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
-	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
 )
-
-// FloodScale scales the paper's full 600-second deployment down for tests
-// and benchmarks while preserving structure.
-type FloodScale struct {
-	// Duration, AttackStart, AttackStop override the timeline.
-	Duration, AttackStart, AttackStop time.Duration
-	// NumClients, ClientRate, BotCount, PerBotRate override the load.
-	NumClients int
-	ClientRate float64
-	BotCount   int
-	PerBotRate float64
-	// Backlog and AcceptBacklog size the server queues; reduced runs must
-	// shrink them with the attack rate so floods saturate them on the same
-	// relative timescale as the paper's 5000 pps vs 4096 slots.
-	Backlog       int
-	AcceptBacklog int
-	// Workers sizes the application pool; reduced runs shrink it so the
-	// flood overwhelms the drain rate by the same factor as at full scale.
-	Workers int
-	// Seed overrides the seed.
-	Seed int64
-}
-
-// PaperScale is the full-size evaluation of §6.
-func PaperScale() FloodScale {
-	return FloodScale{
-		Duration: 600 * time.Second, AttackStart: 120 * time.Second, AttackStop: 480 * time.Second,
-		NumClients: 15, ClientRate: 20, BotCount: 10, PerBotRate: 500,
-		Backlog: 4096, AcceptBacklog: 4096, Workers: 256, Seed: 1,
-	}
-}
-
-// QuickScale is a reduced deployment for benchmarks and tests: the same
-// shape at ~1/10 the event count.
-func QuickScale() FloodScale {
-	return FloodScale{
-		Duration: 120 * time.Second, AttackStart: 30 * time.Second, AttackStop: 90 * time.Second,
-		NumClients: 6, ClientRate: 10, BotCount: 5, PerBotRate: 120,
-		Backlog: 512, AcceptBacklog: 512, Workers: 64, Seed: 1,
-	}
-}
-
-func (s FloodScale) apply(cfg FloodConfig) FloodConfig {
-	cfg.Duration = s.Duration
-	cfg.AttackStart = s.AttackStart
-	cfg.AttackStop = s.AttackStop
-	cfg.NumClients = s.NumClients
-	cfg.ClientRate = s.ClientRate
-	cfg.BotCount = s.BotCount
-	cfg.PerBotRate = s.PerBotRate
-	cfg.Backlog = s.Backlog
-	cfg.AcceptBacklog = s.AcceptBacklog
-	cfg.Workers = s.Workers
-	if s.Seed != 0 {
-		cfg.Seed = s.Seed
-	}
-	return cfg
-}
 
 // DefenseRun couples a label with a completed flood run.
 type DefenseRun struct {
 	Label string
 	Run   *FloodRun
+}
+
+// defenseRuns executes a labelled scenario grid on the shared runner and
+// pairs each completed run with its label.
+func defenseRuns(scale Scale, grid []Scenario) ([]DefenseRun, error) {
+	runs, err := RunScenarios(scale.Parallelism, scale.ApplyAll(grid...))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DefenseRun, len(runs))
+	for i, run := range runs {
+		out[i] = DefenseRun{Label: grid[i].Label, Run: run}
+	}
+	return out, nil
 }
 
 // Fig7Result compares defenses under a SYN flood.
@@ -80,34 +33,22 @@ type Fig7Result struct {
 
 // Fig7 runs the SYN-flood comparison of Fig. 7: no defense, SYN cookies,
 // puzzles at (1,8), and puzzles at the Nash difficulty (2,17). Clients run
-// patched kernels.
-func Fig7(scale FloodScale) (*Fig7Result, error) {
-	defenses := []struct {
-		label      string
-		protection serversim.Protection
-		params     puzzle.Params
-	}{
-		{"nodefense", serversim.ProtectionNone, puzzle.Params{}},
-		{"cookies", serversim.ProtectionCookies, puzzle.Params{}},
-		{"challenges-m8", serversim.ProtectionPuzzles, puzzle.Params{K: 1, M: 8, L: 32}},
-		{"challenges-m17", serversim.ProtectionPuzzles, puzzle.Params{K: 2, M: 17, L: 32}},
+// patched kernels. The four deployments are independent and run in
+// parallel on the shared runner.
+func Fig7(scale Scale) (*Fig7Result, error) {
+	grid := []Scenario{
+		{Label: "nodefense", Defense: DefenseNone, Attack: AttackSYNFlood, ClientsSolve: true},
+		{Label: "cookies", Defense: DefenseCookies, Attack: AttackSYNFlood, ClientsSolve: true},
+		{Label: "challenges-m8", Defense: DefensePuzzles, Params: puzzle.Params{K: 1, M: 8, L: 32},
+			Attack: AttackSYNFlood, ClientsSolve: true},
+		{Label: "challenges-m17", Defense: DefensePuzzles, Params: puzzle.Params{K: 2, M: 17, L: 32},
+			Attack: AttackSYNFlood, ClientsSolve: true},
 	}
-	res := &Fig7Result{}
-	for _, d := range defenses {
-		cfg := scale.apply(FloodConfig{
-			Label:        d.label,
-			Protection:   d.protection,
-			Params:       d.params,
-			AttackKind:   attacksim.SYNFlood,
-			ClientsSolve: true,
-		})
-		run, err := RunFlood(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig7 %s: %w", d.label, err)
-		}
-		res.Runs = append(res.Runs, DefenseRun{Label: d.label, Run: run})
+	runs, err := defenseRuns(scale, grid)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig7: %w", err)
 	}
-	return res, nil
+	return &Fig7Result{Runs: runs}, nil
 }
 
 // Table summarises throughput before/during/after the attack per defense.
@@ -123,33 +64,20 @@ type Fig8Result struct {
 // Fig8 runs the connection-flood comparison of Fig. 8: no defense, SYN
 // cookies, and puzzles at the Nash difficulty. The bots run patched kernels
 // (they solve when challenged), matching §6's deployment.
-func Fig8(scale FloodScale) (*Fig8Result, error) {
-	defenses := []struct {
-		label      string
-		protection serversim.Protection
-		params     puzzle.Params
-	}{
-		{"nodefense", serversim.ProtectionNone, puzzle.Params{}},
-		{"cookies", serversim.ProtectionCookies, puzzle.Params{}},
-		{"challenges-m17", serversim.ProtectionPuzzles, puzzle.Params{K: 2, M: 17, L: 32}},
+func Fig8(scale Scale) (*Fig8Result, error) {
+	grid := []Scenario{
+		{Label: "nodefense", Defense: DefenseNone, Attack: AttackConnFlood,
+			ClientsSolve: true, BotsSolve: true},
+		{Label: "cookies", Defense: DefenseCookies, Attack: AttackConnFlood,
+			ClientsSolve: true, BotsSolve: true},
+		{Label: "challenges-m17", Defense: DefensePuzzles, Params: puzzle.Params{K: 2, M: 17, L: 32},
+			Attack: AttackConnFlood, ClientsSolve: true, BotsSolve: true},
 	}
-	res := &Fig8Result{}
-	for _, d := range defenses {
-		cfg := scale.apply(FloodConfig{
-			Label:        d.label,
-			Protection:   d.protection,
-			Params:       d.params,
-			AttackKind:   attacksim.ConnFlood,
-			ClientsSolve: true,
-			BotsSolve:    true,
-		})
-		run, err := RunFlood(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: fig8 %s: %w", d.label, err)
-		}
-		res.Runs = append(res.Runs, DefenseRun{Label: d.label, Run: run})
+	runs, err := defenseRuns(scale, grid)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig8: %w", err)
 	}
-	return res, nil
+	return &Fig8Result{Runs: runs}, nil
 }
 
 // Table summarises throughput before/during/after the attack per defense.

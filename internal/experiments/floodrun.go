@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
+	"github.com/tcppuzzles/tcppuzzles/internal/clientsim"
+	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
+	"github.com/tcppuzzles/tcppuzzles/internal/netsim"
+	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
+	"github.com/tcppuzzles/tcppuzzles/sim/runner"
+)
+
+// FloodRun is a completed flood scenario with its measurement state.
+type FloodRun struct {
+	Cfg     Scenario
+	Eng     *netsim.Engine
+	Net     *netsim.Network
+	Server  *serversim.Server
+	Clients []*clientsim.Client
+	Botnet  *attacksim.Botnet
+}
+
+// RunFlood builds and executes one flood scenario to completion. The run
+// is fully self-contained — engine, network and every RNG are derived
+// from the scenario's seed — so independent scenarios may execute
+// concurrently (see RunScenarios) with bit-for-bit identical results.
+func RunFlood(sc Scenario) (*FloodRun, error) {
+	sc = sc.Defaults()
+	protection, err := sc.protection()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	attackKind, err := sc.attackKind()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	eng := netsim.NewEngine()
+	network := netsim.NewNetwork(eng)
+
+	srv, err := serversim.New(eng, network, netsim.DefaultServerLink(), serversim.Config{
+		Addr:               [4]byte{10, 0, 0, 1},
+		Protection:         protection,
+		PuzzleParams:       sc.Params,
+		AlwaysChallenge:    sc.AlwaysChallenge,
+		AdaptiveDifficulty: sc.AdaptiveDifficulty,
+		SimulatedCrypto:    true,
+		Workers:            sc.Workers,
+		Backlog:            sc.Backlog,
+		AcceptBacklog:      sc.AcceptBacklog,
+		Seed:               sc.Seed,
+		MetricBucket:       sc.Bucket,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: server: %w", err)
+	}
+
+	run := &FloodRun{Cfg: sc, Eng: eng, Net: network, Server: srv}
+	devices := cpumodel.ClientCPUs()
+	for i := 0; i < sc.NumClients; i++ {
+		client, err := clientsim.New(eng, network, netsim.DefaultHostLink(), clientsim.Config{
+			Addr:            [4]byte{10, 1, byte(i / 250), byte(1 + i%250)},
+			ServerAddr:      srv.Addr(),
+			Rate:            sc.ClientRate,
+			StopAt:          sc.Duration,
+			RequestBytes:    sc.RequestBytes,
+			Solves:          sc.ClientsSolve,
+			SimulatedCrypto: true,
+			Device:          devices[i%len(devices)],
+			Seed:            sc.Seed + int64(i)*17,
+			MetricBucket:    sc.Bucket,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: client %d: %w", i, err)
+		}
+		run.Clients = append(run.Clients, client)
+	}
+
+	if sc.BotCount > 0 && sc.PerBotRate > 0 {
+		botnet, err := attacksim.NewBotnet(eng, network, attacksim.BotnetConfig{
+			Size:            sc.BotCount,
+			BaseAddr:        [4]byte{10, 2, 0, 1},
+			ServerAddr:      srv.Addr(),
+			Kind:            attackKind,
+			PerBotRate:      sc.PerBotRate,
+			Solves:          sc.BotsSolve,
+			SimulatedCrypto: true,
+			MaxSolveBacklog: sc.BotMaxSolveBacklog,
+			StartAt:         sc.AttackStart,
+			StopAt:          sc.AttackStop,
+			Seed:            sc.Seed + 1000,
+			MetricBucket:    sc.Bucket,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: botnet: %w", err)
+		}
+		run.Botnet = botnet
+	}
+
+	eng.Run(sc.Duration)
+	return run, nil
+}
+
+// RunScenarios fans a grid of independent scenarios out across the
+// work-stealing runner and returns the completed runs in grid order.
+// workers <= 0 selects GOMAXPROCS. Because each run's randomness derives
+// only from its own seed, the results are identical at every worker
+// count; parallelism divides wall-clock time only.
+func RunScenarios(workers int, scs []Scenario) ([]*FloodRun, error) {
+	return runner.Map(workers, len(scs), func(i int) (*FloodRun, error) {
+		run, err := RunFlood(scs[i])
+		if err != nil && scs[i].Label != "" {
+			// Name the failing grid cell; a bare job index doesn't
+			// identify which (k, m)/defense/rate was at fault.
+			return nil, fmt.Errorf("scenario %q: %w", scs[i].Label, err)
+		}
+		return run, err
+	})
+}
+
+// ClientThroughputMbps returns the mean per-client goodput in Mbps per
+// bucket.
+func (r *FloodRun) ClientThroughputMbps() []float64 {
+	var out []float64
+	for _, c := range r.Clients {
+		series := c.Metrics().BytesIn.Mbps(r.Cfg.Duration)
+		if out == nil {
+			out = make([]float64, len(series))
+		}
+		for i, v := range series {
+			out[i] += v / float64(len(r.Clients))
+		}
+	}
+	return out
+}
+
+// ServerThroughputMbps returns the server's outgoing throughput in Mbps per
+// bucket.
+func (r *FloodRun) ServerThroughputMbps() []float64 {
+	return r.Server.Metrics().BytesOut.Mbps(r.Cfg.Duration)
+}
+
+// ServerCPU returns per-bucket server CPU utilisation (%).
+func (r *FloodRun) ServerCPU() []float64 {
+	return r.Server.CPU().Utilisation(r.Cfg.Duration)
+}
+
+// ClientCPU returns the mean per-bucket client CPU utilisation (%).
+func (r *FloodRun) ClientCPU() []float64 {
+	var out []float64
+	for _, c := range r.Clients {
+		u := c.CPU().Utilisation(r.Cfg.Duration)
+		if out == nil {
+			out = make([]float64, len(u))
+		}
+		for i, v := range u {
+			out[i] += v / float64(len(r.Clients))
+		}
+	}
+	return out
+}
+
+// AttackerCPU returns the mean per-bucket botnet CPU utilisation (%).
+func (r *FloodRun) AttackerCPU() []float64 {
+	if r.Botnet == nil {
+		return nil
+	}
+	return r.Botnet.MeanCPUUtilisation(r.Cfg.Duration)
+}
+
+// QueueSizes returns per-second listen and accept queue occupancy.
+func (r *FloodRun) QueueSizes() (listen, accept []float64) {
+	m := r.Server.Metrics()
+	return m.ListenLen.Sampled(r.Cfg.Bucket, r.Cfg.Duration),
+		m.AcceptLen.Sampled(r.Cfg.Bucket, r.Cfg.Duration)
+}
+
+// AttackerEstablishedRate returns the botnet's completed connections per
+// second as seen by the server (the effective attack rate).
+func (r *FloodRun) AttackerEstablishedRate() []float64 {
+	if r.Botnet == nil {
+		return nil
+	}
+	return r.Server.Metrics().EstablishedRateFor(r.Botnet.Srcs(), r.Cfg.Duration)
+}
+
+// MeasuredAttackRate returns the botnet's sent packets per second (after
+// CPU limiting).
+func (r *FloodRun) MeasuredAttackRate() []float64 {
+	if r.Botnet == nil {
+		return nil
+	}
+	return r.Botnet.SentRate(r.Cfg.Duration)
+}
+
+// AttackWindowMean averages a per-bucket series over the attack interval.
+func (r *FloodRun) AttackWindowMean(series []float64) float64 {
+	lo := int(r.Cfg.AttackStart / r.Cfg.Bucket)
+	hi := int(r.Cfg.AttackStop / r.Cfg.Bucket)
+	if hi > len(series) {
+		hi = len(series)
+	}
+	if lo >= hi {
+		return 0
+	}
+	var sum float64
+	for _, v := range series[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo)
+}
+
+// ClientThroughputSamplesDuringAttack returns every per-client per-bucket
+// throughput sample (Mbps) inside the attack window — the population behind
+// the Fig. 12 box plots.
+func (r *FloodRun) ClientThroughputSamplesDuringAttack() []float64 {
+	lo := int(r.Cfg.AttackStart / r.Cfg.Bucket)
+	hi := int(r.Cfg.AttackStop / r.Cfg.Bucket)
+	var out []float64
+	for _, c := range r.Clients {
+		series := c.Metrics().BytesIn.Mbps(r.Cfg.Duration)
+		if hi > len(series) {
+			hi = len(series)
+		}
+		out = append(out, series[lo:hi]...)
+	}
+	return out
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
 	"github.com/tcppuzzles/tcppuzzles/internal/mm1"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sim/runner"
 )
 
 // NashResult is the worked example of §4.4: model parameters measured from
@@ -25,7 +26,9 @@ type NashResult struct {
 // NashExample reproduces §4.4 end-to-end: w_av from the client CPU
 // profiles, α from the stress test, ℓ* from Theorem 1, (k*, m*) from the
 // practical selection procedure, and a finite-N numeric cross-check.
-func NashExample() (*NashResult, error) {
+// workers bounds the runner pool for the independent closing steps
+// (0 = GOMAXPROCS).
+func NashExample(workers int) (*NashResult, error) {
 	wav, err := cpumodel.FleetWav(cpumodel.ClientCPUs(), 400*time.Millisecond)
 	if err != nil {
 		return nil, err
@@ -39,13 +42,22 @@ func NashExample() (*NashResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	params, err := game.SelectParams(wav, alpha, game.SelectionConfig{})
-	if err != nil {
-		return nil, err
-	}
+	// The closed-form parameter selection and the finite-N numeric
+	// cross-check depend only on (w_av, α); run them as independent jobs.
 	const n = 2000
-	g := game.UniformGame(n, wav, alpha*n)
-	finite, err := g.OptimalDifficulty()
+	var params puzzle.Params
+	var finite float64
+	err = runner.ForEach(workers, 2, func(i int) error {
+		var err error
+		switch i {
+		case 0:
+			params, err = game.SelectParams(wav, alpha, game.SelectionConfig{})
+		case 1:
+			g := game.UniformGame(n, wav, alpha*n)
+			finite, err = g.OptimalDifficulty()
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}

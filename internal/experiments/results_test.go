@@ -64,9 +64,9 @@ func TestSparkline(t *testing.T) {
 // Determinism at the experiment level: identical configs produce identical
 // series, bit for bit.
 func TestRunFloodDeterministic(t *testing.T) {
-	cfg := tinyScale().apply(FloodConfig{
-		Protection:   2, // cookies: cheap, no solving
-		AttackKind:   1, // SYN flood
+	cfg := tinyScale().Apply(Scenario{
+		Defense:      DefenseCookies, // cheap, no solving
+		Attack:       AttackSYNFlood,
 		ClientsSolve: true,
 	})
 	a, err := RunFlood(cfg)

@@ -1,7 +1,8 @@
 // Package experiments reproduces the paper's evaluation (§6): one driver
 // per figure and table, built on the simulated DETER-like testbed. Each
-// driver returns a structured result that renders the same rows/series the
-// paper reports.
+// driver declares its scenarios as data, submits them to the shared
+// work-stealing runner (sim/runner), and returns a structured result that
+// renders the same rows/series the paper reports.
 package experiments
 
 import (
@@ -9,16 +10,50 @@ import (
 	"time"
 
 	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
-	"github.com/tcppuzzles/tcppuzzles/internal/clientsim"
-	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
-	"github.com/tcppuzzles/tcppuzzles/internal/netsim"
 	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
 )
 
-// FloodConfig describes one flood scenario in the paper's test deployment:
-// one server, a set of clients requesting text, and a botnet.
-type FloodConfig struct {
+// Defense selects the server protection. The empty string selects the
+// paper's default (puzzles); every named variant — including DefenseNone —
+// is always honoured, so no configuration is unreachable by defaulting.
+type Defense string
+
+// Supported defenses.
+const (
+	DefenseNone     Defense = "none"
+	DefenseCookies  Defense = "cookies"
+	DefenseSYNCache Defense = "syncache"
+	DefensePuzzles  Defense = "puzzles"
+)
+
+// Attack selects the botnet behaviour. The empty string selects the
+// paper's default (a connection flood).
+type Attack string
+
+// Supported attacks.
+const (
+	AttackSYNFlood      Attack = "synflood"
+	AttackConnFlood     Attack = "connflood"
+	AttackSolutionFlood Attack = "solutionflood"
+	AttackReplayFlood   Attack = "replayflood"
+)
+
+// NoBotnet as a Scenario.BotCount disables the botnet entirely. (Zero
+// means "default", so opting out needs an explicit sentinel.)
+const NoBotnet = -1
+
+// Scenario is the canonical description of one deployment under attack:
+// one server, a set of clients requesting text, and a botnet. It is the
+// single config type shared by the public sim façade, every figure/table
+// driver, the benchmarks, and the runner.
+//
+// The zero value of every field selects the paper's §6 defaults (see
+// Defaults). Fields where zero is meaningful use explicit sentinels:
+// BotCount: NoBotnet runs without a botnet, Workers: -1 disables the
+// application worker pool, and the Defense/Attack enums are strings so
+// "unset" ("") is distinct from every real variant.
+type Scenario struct {
 	// Label names the run in result tables.
 	Label string
 
@@ -38,16 +73,21 @@ type FloodConfig struct {
 	// ClientsSolve selects patched client kernels.
 	ClientsSolve bool
 
-	// Protection and Params configure the server defense.
-	Protection      serversim.Protection
+	// Defense and Params configure the server protection.
+	Defense         Defense
 	Params          puzzle.Params
 	AlwaysChallenge bool
-	Workers         int
-	Backlog         int
-	AcceptBacklog   int
+	// AdaptiveDifficulty enables the server's closed-loop controller.
+	AdaptiveDifficulty bool
+	// Workers sizes the application pool (-1 disables it); Backlog and
+	// AcceptBacklog size the server queues.
+	Workers       int
+	Backlog       int
+	AcceptBacklog int
 
-	// AttackKind, BotCount, PerBotRate and BotsSolve configure the botnet.
-	AttackKind attacksim.Kind
+	// Attack, BotCount, PerBotRate and BotsSolve configure the botnet.
+	// BotCount: NoBotnet runs the deployment without attackers.
+	Attack     Attack
 	BotCount   int
 	PerBotRate float64
 	BotsSolve  bool
@@ -55,241 +95,168 @@ type FloodConfig struct {
 	// challenges instead of queueing greedily (zero = greedy default).
 	BotMaxSolveBacklog time.Duration
 
-	// AdaptiveDifficulty enables the server's closed-loop controller.
-	AdaptiveDifficulty bool
-
-	// Seed drives all randomness.
+	// Seed drives all randomness; equal seeds reproduce runs bit-for-bit.
+	// Every scenario builds its own RNG from this seed, so grids of
+	// scenarios are independent and safe to run in parallel.
 	Seed int64
 }
 
-// fill applies the paper's §6 defaults: 15 clients at 20 req/s, a 10-bot
-// botnet at 500 pps each, attack over [120 s, 480 s) of a 600 s run.
-func (c *FloodConfig) fill() {
-	if c.Duration == 0 {
-		c.Duration = 600 * time.Second
+// Defaults returns a copy with the paper's §6 defaults applied to every
+// unset field: 15 clients at 20 req/s, a 10-bot botnet at 500 pps each,
+// attack over [120 s, 480 s) of a 600 s run, puzzles at the Nash
+// difficulty. Explicit sentinels (NoBotnet, Workers: -1) pass through.
+func (sc Scenario) Defaults() Scenario {
+	if sc.Duration == 0 {
+		sc.Duration = 600 * time.Second
 	}
-	if c.AttackStart == 0 {
-		c.AttackStart = 120 * time.Second
+	if sc.AttackStart == 0 {
+		sc.AttackStart = 120 * time.Second
 	}
-	if c.AttackStop == 0 {
-		c.AttackStop = 480 * time.Second
+	if sc.AttackStop == 0 {
+		sc.AttackStop = 480 * time.Second
 	}
-	if c.Bucket == 0 {
-		c.Bucket = time.Second
+	if sc.Bucket == 0 {
+		sc.Bucket = time.Second
 	}
-	if c.NumClients == 0 {
-		c.NumClients = 15
+	if sc.NumClients == 0 {
+		sc.NumClients = 15
 	}
-	if c.ClientRate == 0 {
-		c.ClientRate = 20
+	if sc.ClientRate == 0 {
+		sc.ClientRate = 20
 	}
-	if c.RequestBytes == 0 {
-		c.RequestBytes = 100_000
+	if sc.RequestBytes == 0 {
+		sc.RequestBytes = 100_000
 	}
-	if c.Protection == 0 {
-		c.Protection = serversim.ProtectionPuzzles
+	if sc.Defense == "" {
+		sc.Defense = DefensePuzzles
 	}
-	if c.Params == (puzzle.Params{}) {
-		c.Params = puzzle.Params{K: 2, M: 17, L: 32}
+	if sc.Params == (puzzle.Params{}) {
+		sc.Params = puzzle.Params{K: 2, M: 17, L: 32}
 	}
-	if c.AttackKind == 0 {
-		c.AttackKind = attacksim.ConnFlood
+	if sc.Attack == "" {
+		sc.Attack = AttackConnFlood
 	}
-	if c.BotCount == 0 {
-		c.BotCount = 10
+	if sc.BotCount == 0 {
+		sc.BotCount = 10
 	}
-	if c.PerBotRate == 0 {
-		c.PerBotRate = 500
+	if sc.PerBotRate == 0 {
+		sc.PerBotRate = 500
 	}
-	if c.Seed == 0 {
-		c.Seed = 1
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	return sc
+}
+
+// protection resolves the defense enum for the server simulator.
+func (sc Scenario) protection() (serversim.Protection, error) {
+	switch sc.Defense {
+	case "", DefensePuzzles:
+		return serversim.ProtectionPuzzles, nil
+	case DefenseNone:
+		return serversim.ProtectionNone, nil
+	case DefenseCookies:
+		return serversim.ProtectionCookies, nil
+	case DefenseSYNCache:
+		return serversim.ProtectionSYNCache, nil
+	default:
+		return 0, fmt.Errorf("unknown defense %q", sc.Defense)
 	}
 }
 
-// FloodRun is a completed flood scenario with its measurement state.
-type FloodRun struct {
-	Cfg     FloodConfig
-	Eng     *netsim.Engine
-	Net     *netsim.Network
-	Server  *serversim.Server
-	Clients []*clientsim.Client
-	Botnet  *attacksim.Botnet
+// attackKind resolves the attack enum for the botnet simulator.
+func (sc Scenario) attackKind() (attacksim.Kind, error) {
+	switch sc.Attack {
+	case "", AttackConnFlood:
+		return attacksim.ConnFlood, nil
+	case AttackSYNFlood:
+		return attacksim.SYNFlood, nil
+	case AttackSolutionFlood:
+		return attacksim.SolutionFlood, nil
+	case AttackReplayFlood:
+		return attacksim.ReplayFlood, nil
+	default:
+		return 0, fmt.Errorf("unknown attack %q", sc.Attack)
+	}
 }
 
-// RunFlood builds and executes a flood scenario to completion.
-func RunFlood(cfg FloodConfig) (*FloodRun, error) {
-	cfg.fill()
-	eng := netsim.NewEngine()
-	network := netsim.NewNetwork(eng)
-
-	srv, err := serversim.New(eng, network, netsim.DefaultServerLink(), serversim.Config{
-		Addr:               [4]byte{10, 0, 0, 1},
-		Protection:         cfg.Protection,
-		PuzzleParams:       cfg.Params,
-		AlwaysChallenge:    cfg.AlwaysChallenge,
-		AdaptiveDifficulty: cfg.AdaptiveDifficulty,
-		SimulatedCrypto:    true,
-		Workers:            cfg.Workers,
-		Backlog:            cfg.Backlog,
-		AcceptBacklog:      cfg.AcceptBacklog,
-		Seed:               cfg.Seed,
-		MetricBucket:       cfg.Bucket,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: server: %w", err)
-	}
-
-	run := &FloodRun{Cfg: cfg, Eng: eng, Net: network, Server: srv}
-	devices := cpumodel.ClientCPUs()
-	for i := 0; i < cfg.NumClients; i++ {
-		client, err := clientsim.New(eng, network, netsim.DefaultHostLink(), clientsim.Config{
-			Addr:            [4]byte{10, 1, byte(i / 250), byte(1 + i%250)},
-			ServerAddr:      srv.Addr(),
-			Rate:            cfg.ClientRate,
-			StopAt:          cfg.Duration,
-			RequestBytes:    cfg.RequestBytes,
-			Solves:          cfg.ClientsSolve,
-			SimulatedCrypto: true,
-			Device:          devices[i%len(devices)],
-			Seed:            cfg.Seed + int64(i)*17,
-			MetricBucket:    cfg.Bucket,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: client %d: %w", i, err)
-		}
-		run.Clients = append(run.Clients, client)
-	}
-
-	if cfg.BotCount > 0 && cfg.PerBotRate > 0 {
-		botnet, err := attacksim.NewBotnet(eng, network, attacksim.BotnetConfig{
-			Size:            cfg.BotCount,
-			BaseAddr:        [4]byte{10, 2, 0, 1},
-			ServerAddr:      srv.Addr(),
-			Kind:            cfg.AttackKind,
-			PerBotRate:      cfg.PerBotRate,
-			Solves:          cfg.BotsSolve,
-			SimulatedCrypto: true,
-			MaxSolveBacklog: cfg.BotMaxSolveBacklog,
-			StartAt:         cfg.AttackStart,
-			StopAt:          cfg.AttackStop,
-			Seed:            cfg.Seed + 1000,
-			MetricBucket:    cfg.Bucket,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: botnet: %w", err)
-		}
-		run.Botnet = botnet
-	}
-
-	eng.Run(cfg.Duration)
-	return run, nil
+// Scale overrides a Scenario's deployment size so the paper's full
+// 600-second evaluation shrinks for tests and benchmarks while preserving
+// structure. Composing Scale.Apply with Scenario.Defaults replaces the
+// old FloodConfig.fill / FloodScale.apply pair.
+type Scale struct {
+	// Duration, AttackStart, AttackStop override the timeline.
+	Duration, AttackStart, AttackStop time.Duration
+	// NumClients, ClientRate, BotCount, PerBotRate override the load.
+	NumClients int
+	ClientRate float64
+	BotCount   int
+	PerBotRate float64
+	// Backlog and AcceptBacklog size the server queues; reduced runs must
+	// shrink them with the attack rate so floods saturate them on the same
+	// relative timescale as the paper's 5000 pps vs 4096 slots.
+	Backlog       int
+	AcceptBacklog int
+	// Workers sizes the application pool; reduced runs shrink it so the
+	// flood overwhelms the drain rate by the same factor as at full scale.
+	Workers int
+	// Seed overrides the seed when non-zero.
+	Seed int64
+	// Parallelism is the runner worker count used when a driver fans a
+	// grid of scenarios out (0 = GOMAXPROCS). It never affects results,
+	// only wall-clock time.
+	Parallelism int
 }
 
-// ClientThroughputMbps returns the mean per-client goodput in Mbps per
-// bucket.
-func (r *FloodRun) ClientThroughputMbps() []float64 {
-	var out []float64
-	for _, c := range r.Clients {
-		series := c.Metrics().BytesIn.Mbps(r.Cfg.Duration)
-		if out == nil {
-			out = make([]float64, len(series))
-		}
-		for i, v := range series {
-			out[i] += v / float64(len(r.Clients))
-		}
+// PaperScale is the full-size evaluation of §6.
+func PaperScale() Scale {
+	return Scale{
+		Duration: 600 * time.Second, AttackStart: 120 * time.Second, AttackStop: 480 * time.Second,
+		NumClients: 15, ClientRate: 20, BotCount: 10, PerBotRate: 500,
+		Backlog: 4096, AcceptBacklog: 4096, Workers: 256, Seed: 1,
 	}
-	return out
 }
 
-// ServerThroughputMbps returns the server's outgoing throughput in Mbps per
-// bucket.
-func (r *FloodRun) ServerThroughputMbps() []float64 {
-	return r.Server.Metrics().BytesOut.Mbps(r.Cfg.Duration)
-}
-
-// ServerCPU returns per-bucket server CPU utilisation (%).
-func (r *FloodRun) ServerCPU() []float64 {
-	return r.Server.CPU().Utilisation(r.Cfg.Duration)
-}
-
-// ClientCPU returns the mean per-bucket client CPU utilisation (%).
-func (r *FloodRun) ClientCPU() []float64 {
-	var out []float64
-	for _, c := range r.Clients {
-		u := c.CPU().Utilisation(r.Cfg.Duration)
-		if out == nil {
-			out = make([]float64, len(u))
-		}
-		for i, v := range u {
-			out[i] += v / float64(len(r.Clients))
-		}
+// QuickScale is a reduced deployment for benchmarks and tests: the same
+// shape at ~1/10 the event count.
+func QuickScale() Scale {
+	return Scale{
+		Duration: 120 * time.Second, AttackStart: 30 * time.Second, AttackStop: 90 * time.Second,
+		NumClients: 6, ClientRate: 10, BotCount: 5, PerBotRate: 120,
+		Backlog: 512, AcceptBacklog: 512, Workers: 64, Seed: 1,
 	}
-	return out
 }
 
-// AttackerCPU returns the mean per-bucket botnet CPU utilisation (%).
-func (r *FloodRun) AttackerCPU() []float64 {
-	if r.Botnet == nil {
-		return nil
+// Apply overrides the scenario's deployment-size knobs with the scale's.
+// Explicit "off" sentinels survive rescaling: a Scenario that opted out
+// of the botnet (BotCount: NoBotnet) or the worker pool (Workers: -1)
+// keeps that choice at every scale.
+func (s Scale) Apply(sc Scenario) Scenario {
+	sc.Duration = s.Duration
+	sc.AttackStart = s.AttackStart
+	sc.AttackStop = s.AttackStop
+	sc.NumClients = s.NumClients
+	sc.ClientRate = s.ClientRate
+	if sc.BotCount != NoBotnet {
+		sc.BotCount = s.BotCount
+		sc.PerBotRate = s.PerBotRate
 	}
-	return r.Botnet.MeanCPUUtilisation(r.Cfg.Duration)
+	sc.Backlog = s.Backlog
+	sc.AcceptBacklog = s.AcceptBacklog
+	if sc.Workers >= 0 {
+		sc.Workers = s.Workers
+	}
+	if s.Seed != 0 {
+		sc.Seed = s.Seed
+	}
+	return sc
 }
 
-// QueueSizes returns per-second listen and accept queue occupancy.
-func (r *FloodRun) QueueSizes() (listen, accept []float64) {
-	m := r.Server.Metrics()
-	return m.ListenLen.Sampled(r.Cfg.Bucket, r.Cfg.Duration),
-		m.AcceptLen.Sampled(r.Cfg.Bucket, r.Cfg.Duration)
-}
-
-// AttackerEstablishedRate returns the botnet's completed connections per
-// second as seen by the server (the effective attack rate).
-func (r *FloodRun) AttackerEstablishedRate() []float64 {
-	if r.Botnet == nil {
-		return nil
-	}
-	return r.Server.Metrics().EstablishedRateFor(r.Botnet.Srcs(), r.Cfg.Duration)
-}
-
-// MeasuredAttackRate returns the botnet's sent packets per second (after
-// CPU limiting).
-func (r *FloodRun) MeasuredAttackRate() []float64 {
-	if r.Botnet == nil {
-		return nil
-	}
-	return r.Botnet.SentRate(r.Cfg.Duration)
-}
-
-// AttackWindowMean averages a per-bucket series over the attack interval.
-func (r *FloodRun) AttackWindowMean(series []float64) float64 {
-	lo := int(r.Cfg.AttackStart / r.Cfg.Bucket)
-	hi := int(r.Cfg.AttackStop / r.Cfg.Bucket)
-	if hi > len(series) {
-		hi = len(series)
-	}
-	if lo >= hi {
-		return 0
-	}
-	var sum float64
-	for _, v := range series[lo:hi] {
-		sum += v
-	}
-	return sum / float64(hi-lo)
-}
-
-// ClientThroughputSamplesDuringAttack returns every per-client per-bucket
-// throughput sample (Mbps) inside the attack window — the population behind
-// the Fig. 12 box plots.
-func (r *FloodRun) ClientThroughputSamplesDuringAttack() []float64 {
-	lo := int(r.Cfg.AttackStart / r.Cfg.Bucket)
-	hi := int(r.Cfg.AttackStop / r.Cfg.Bucket)
-	var out []float64
-	for _, c := range r.Clients {
-		series := c.Metrics().BytesIn.Mbps(r.Cfg.Duration)
-		if hi > len(series) {
-			hi = len(series)
-		}
-		out = append(out, series[lo:hi]...)
+// ApplyAll applies the scale to a whole scenario grid.
+func (s Scale) ApplyAll(scs ...Scenario) []Scenario {
+	out := make([]Scenario, len(scs))
+	for i, sc := range scs {
+		out[i] = s.Apply(sc)
 	}
 	return out
 }

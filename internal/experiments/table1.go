@@ -5,6 +5,7 @@ import (
 
 	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sim/runner"
 )
 
 // Table1Row is one embedded device of the paper's Table 1, extended with
@@ -26,21 +27,26 @@ type Table1Result struct {
 }
 
 // Table1 profiles the Raspberry Pi fleet and derives each device's maximum
-// solved-connection rate at the Nash difficulty.
-func Table1() *Table1Result {
+// solved-connection rate at the Nash difficulty, one runner job per
+// device. workers bounds the pool (0 = GOMAXPROCS).
+func Table1(workers int) (*Table1Result, error) {
 	params := puzzle.Params{K: 2, M: 17, L: 32}
-	res := &Table1Result{NashParams: params}
-	for _, dev := range cpumodel.IoTDevices() {
-		solveHashes := params.ExpectedSolveHashes()
-		res.Rows = append(res.Rows, Table1Row{
+	devices := cpumodel.IoTDevices()
+	solveHashes := params.ExpectedSolveHashes()
+	rows, err := runner.Map(workers, len(devices), func(i int) (Table1Row, error) {
+		dev := devices[i]
+		return Table1Row{
 			Device:          dev,
 			HashRate:        dev.HashRate,
 			HashesIn400ms:   dev.HashesIn(400 * time.Millisecond),
 			NashSolveTime:   dev.TimeFor(solveHashes),
 			MaxFloodRateCPS: dev.HashRate / solveHashes,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res
+	return &Table1Result{NashParams: params, Rows: rows}, nil
 }
 
 // Table renders the device study.

@@ -38,15 +38,25 @@ const (
 	ScaleQuick Scale = "quick"
 )
 
-func (s Scale) flood() (experiments.FloodScale, error) {
+func (s Scale) flood() (experiments.Scale, error) {
 	switch s {
 	case "", ScaleQuick:
 		return experiments.QuickScale(), nil
 	case ScalePaper:
 		return experiments.PaperScale(), nil
 	default:
-		return experiments.FloodScale{}, fmt.Errorf("sim: unknown scale %q", s)
+		return experiments.Scale{}, fmt.Errorf("sim: unknown scale %q", s)
 	}
+}
+
+// RunOption tunes how an experiment executes (never what it computes).
+type RunOption func(*experiments.Scale)
+
+// WithWorkers sets the runner pool width used to fan the experiment's
+// scenario grid out (0 = GOMAXPROCS, 1 = serial). Results are identical
+// at every width.
+func WithWorkers(n int) RunOption {
+	return func(s *experiments.Scale) { s.Parallelism = n }
 }
 
 // ExperimentIDs returns the available experiment identifiers in display
@@ -60,27 +70,29 @@ func ExperimentIDs() []string {
 	return ids
 }
 
-type runner func(scale experiments.FloodScale) ([]Table, error)
+type expRunner func(scale experiments.Scale) ([]Table, error)
 
-var experimentRunners = map[string]runner{
-	"fig3a": func(experiments.FloodScale) ([]Table, error) {
-		r, err := experiments.Fig3a()
+var experimentRunners = map[string]expRunner{
+	"fig3a": func(scale experiments.Scale) ([]Table, error) {
+		r, err := experiments.Fig3a(scale.Parallelism)
 		if err != nil {
 			return nil, err
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	},
-	"fig3b": func(experiments.FloodScale) ([]Table, error) {
-		r, err := experiments.Fig3b()
+	"fig3b": func(scale experiments.Scale) ([]Table, error) {
+		r, err := experiments.Fig3b(scale.Parallelism)
 		if err != nil {
 			return nil, err
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	},
-	"fig6": func(scale experiments.FloodScale) ([]Table, error) {
-		cfg := experiments.Fig6Config{}
+	"fig6": func(scale experiments.Scale) ([]Table, error) {
+		cfg := experiments.Fig6Config{Parallelism: scale.Parallelism}
 		if scale.Duration < 600*time.Second {
-			cfg = experiments.Fig6Config{Ks: []uint8{1, 2, 4}, Ms: []uint8{4, 10, 16}, Connections: 100}
+			cfg.Ks = []uint8{1, 2, 4}
+			cfg.Ms = []uint8{4, 10, 16}
+			cfg.Connections = 100
 		}
 		r, err := experiments.Fig6(cfg)
 		if err != nil {
@@ -88,35 +100,35 @@ var experimentRunners = map[string]runner{
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	},
-	"fig7": func(scale experiments.FloodScale) ([]Table, error) {
+	"fig7": func(scale experiments.Scale) ([]Table, error) {
 		r, err := experiments.Fig7(scale)
 		if err != nil {
 			return nil, err
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	},
-	"fig8": func(scale experiments.FloodScale) ([]Table, error) {
+	"fig8": func(scale experiments.Scale) ([]Table, error) {
 		r, err := experiments.Fig8(scale)
 		if err != nil {
 			return nil, err
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	},
-	"fig9": func(scale experiments.FloodScale) ([]Table, error) {
+	"fig9": func(scale experiments.Scale) ([]Table, error) {
 		r, err := experiments.Fig9(scale)
 		if err != nil {
 			return nil, err
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	},
-	"fig10": func(scale experiments.FloodScale) ([]Table, error) {
+	"fig10": func(scale experiments.Scale) ([]Table, error) {
 		r, err := experiments.Fig10(scale)
 		if err != nil {
 			return nil, err
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	},
-	"fig11": func(scale experiments.FloodScale) ([]Table, error) {
+	"fig11": func(scale experiments.Scale) ([]Table, error) {
 		r, err := experiments.Fig11(scale)
 		if err != nil {
 			return nil, err
@@ -125,7 +137,7 @@ var experimentRunners = map[string]runner{
 		t.Rows = append(t.Rows, []string{"reduction", fmt.Sprintf("%.1fx", r.ReductionFactor()), ""})
 		return []Table{t}, nil
 	},
-	"fig12": func(scale experiments.FloodScale) ([]Table, error) {
+	"fig12": func(scale experiments.Scale) ([]Table, error) {
 		cfg := experiments.Fig12Config{Scale: scale}
 		if scale.Duration < 600*time.Second {
 			cfg.Ks = []uint8{1, 2}
@@ -137,7 +149,7 @@ var experimentRunners = map[string]runner{
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	},
-	"fig13": func(scale experiments.FloodScale) ([]Table, error) {
+	"fig13": func(scale experiments.Scale) ([]Table, error) {
 		rates := []float64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
 		if scale.Duration < 600*time.Second {
 			rates = []float64{100, 400, 700, 1000}
@@ -148,7 +160,7 @@ var experimentRunners = map[string]runner{
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	},
-	"fig14": func(scale experiments.FloodScale) ([]Table, error) {
+	"fig14": func(scale experiments.Scale) ([]Table, error) {
 		sizes := []int{2, 4, 6, 8, 10, 12, 14}
 		if scale.Duration < 600*time.Second {
 			sizes = []int{2, 6, 10, 14}
@@ -159,41 +171,45 @@ var experimentRunners = map[string]runner{
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	},
-	"fig15": func(scale experiments.FloodScale) ([]Table, error) {
+	"fig15": func(scale experiments.Scale) ([]Table, error) {
 		r, err := experiments.Fig15(scale)
 		if err != nil {
 			return nil, err
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	},
-	"tab1": func(experiments.FloodScale) ([]Table, error) {
-		return []Table{fromInternal(experiments.Table1().Table())}, nil
-	},
-	"nash": func(experiments.FloodScale) ([]Table, error) {
-		r, err := experiments.NashExample()
+	"tab1": func(scale experiments.Scale) ([]Table, error) {
+		r, err := experiments.Table1(scale.Parallelism)
 		if err != nil {
 			return nil, err
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	},
-	"ablation-opportunistic": func(scale experiments.FloodScale) ([]Table, error) {
+	"nash": func(scale experiments.Scale) ([]Table, error) {
+		r, err := experiments.NashExample(scale.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	},
+	"ablation-opportunistic": func(scale experiments.Scale) ([]Table, error) {
 		r, err := experiments.AblationOpportunistic(scale)
 		if err != nil {
 			return nil, err
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	},
-	"ablation-solutionflood": func(scale experiments.FloodScale) ([]Table, error) {
+	"ablation-solutionflood": func(scale experiments.Scale) ([]Table, error) {
 		r, err := experiments.AblationSolutionFlood(scale)
 		if err != nil {
 			return nil, err
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	},
-	"ablation-membound": func(experiments.FloodScale) ([]Table, error) {
+	"ablation-membound": func(experiments.Scale) ([]Table, error) {
 		return []Table{fromInternal(experiments.AblationMemoryBound().Table())}, nil
 	},
-	"ablation-adaptive": func(scale experiments.FloodScale) ([]Table, error) {
+	"ablation-adaptive": func(scale experiments.Scale) ([]Table, error) {
 		// The per-5s controller needs a longer attack than the default
 		// reduced scale provides.
 		if scale.Duration < 600*time.Second {
@@ -210,11 +226,15 @@ var experimentRunners = map[string]runner{
 }
 
 // RunExperiment executes a named experiment at the given scale and returns
-// its result tables.
-func RunExperiment(id string, scale Scale) ([]Table, error) {
+// its result tables. The experiment's scenario grid fans out across the
+// work-stealing runner; use WithWorkers to bound the pool width.
+func RunExperiment(id string, scale Scale, opts ...RunOption) ([]Table, error) {
 	fs, err := scale.flood()
 	if err != nil {
 		return nil, err
+	}
+	for _, opt := range opts {
+		opt(&fs)
 	}
 	run, ok := experimentRunners[strings.ToLower(id)]
 	if !ok {

@@ -1,0 +1,184 @@
+// Package runner is the experiment execution subsystem: a work-stealing
+// goroutine pool that fans independent jobs out across the machine's cores.
+//
+// Every figure and table driver in this repository describes its scenarios
+// as data and submits them here, so a difficulty grid, a defense
+// comparison, or a botnet sweep runs as wide as the hardware allows.
+// Results are always returned in submission order, and a job's outcome
+// depends only on its own inputs (each simulated scenario carries its own
+// seed and builds its own RNG), so output is bit-for-bit identical at any
+// worker count — parallelism changes wall-clock time, never results.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(i) for every i in [0, n) on a work-stealing pool of the
+// given width and returns the results ordered by index. workers <= 0
+// selects runtime.GOMAXPROCS(0). fn must be safe for concurrent use and
+// should depend only on i.
+//
+// If any job fails, workers stop claiming new jobs (in-flight jobs
+// finish) and Map returns the lowest-indexed error among the jobs that
+// ran; all results are discarded. Whether Map fails never depends on the
+// worker count — job validity is a function of the inputs alone — but
+// when several jobs are invalid, which one is reported may.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		// Fast path: no goroutines, no synchronisation.
+		for i := 0; i < n; i++ {
+			results[i], errs[i] = fn(i)
+			if errs[i] != nil {
+				break
+			}
+		}
+		return finish(results, errs)
+	}
+
+	queues := newDeques(workers, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				i, ok := queues.next(self)
+				if !ok {
+					return
+				}
+				results[i], errs[i] = fn(i)
+				if errs[i] != nil {
+					queues.failed.Store(true)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return finish(results, errs)
+}
+
+// ForEach is Map for jobs with no result value.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}
+
+// finish returns the results, or the error of the lowest failing index.
+func finish[T any](results []T, errs []error) ([]T, error) {
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runner: job %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// deques is the work-stealing state: each worker owns a contiguous index
+// range and pops from its bottom; an idle worker steals from the top of
+// the fullest victim. Stealing from the opposite end keeps owner and
+// thief contention to a single mutex acquisition per index.
+type deques struct {
+	shards []shard
+	// remaining counts unclaimed indices across all shards, letting idle
+	// workers stop scanning for victims as soon as the pool drains.
+	remaining atomic.Int64
+	// failed halts further claims once any job errors, so an invalid
+	// grid cell doesn't cost the rest of the grid's simulation time.
+	failed atomic.Bool
+}
+
+type shard struct {
+	mu sync.Mutex
+	// lo..hi is the unclaimed slice of this shard's index range.
+	lo, hi int
+	_      [40]byte // pad to a cache line so shards don't false-share
+}
+
+// newDeques splits [0, n) into one contiguous range per worker. Contiguous
+// ranges (rather than striding) keep each worker's jobs adjacent, which
+// preserves locality when neighbouring scenarios share warm state.
+func newDeques(workers, n int) *deques {
+	d := &deques{shards: make([]shard, workers)}
+	for w := 0; w < workers; w++ {
+		d.shards[w].lo = w * n / workers
+		d.shards[w].hi = (w + 1) * n / workers
+	}
+	d.remaining.Store(int64(n))
+	return d
+}
+
+// next claims an index for worker self: from its own shard's bottom if
+// any remain, otherwise stolen from the top of the fullest other shard.
+// Claims stop once any job has failed.
+func (d *deques) next(self int) (int, bool) {
+	if d.failed.Load() {
+		return 0, false
+	}
+	if i, ok := d.shards[self].popBottom(); ok {
+		d.remaining.Add(-1)
+		return i, true
+	}
+	for d.remaining.Load() > 0 {
+		victim, width := -1, 0
+		for w := range d.shards {
+			if w == self {
+				continue
+			}
+			if n := d.shards[w].width(); n > width {
+				victim, width = w, n
+			}
+		}
+		if victim < 0 {
+			return 0, false
+		}
+		if i, ok := d.shards[victim].popTop(); ok {
+			d.remaining.Add(-1)
+			return i, true
+		}
+		// Lost the race for that victim; rescan while work remains.
+	}
+	return 0, false
+}
+
+func (s *shard) popBottom() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lo >= s.hi {
+		return 0, false
+	}
+	s.lo++
+	return s.lo - 1, true
+}
+
+func (s *shard) popTop() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lo >= s.hi {
+		return 0, false
+	}
+	s.hi--
+	return s.hi, true
+}
+
+func (s *shard) width() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hi - s.lo
+}

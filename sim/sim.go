@@ -3,74 +3,51 @@
 // floods) against a server protected by client puzzles, SYN cookies, a SYN
 // cache, or nothing, and returns materialised measurement series.
 //
-// It also exposes the paper's evaluation as named experiments (see
-// Experiments and RunExperiment) so a downstream user can regenerate every
-// figure and table from §6 with one call.
+// Scenario is the one canonical configuration type shared with the
+// internal experiment drivers, and grids of scenarios fan out across the
+// work-stealing pool in sim/runner (see RunAll). It also exposes the
+// paper's evaluation as named experiments (see Experiments and
+// RunExperiment) so a downstream user can regenerate every figure and
+// table from §6 with one call.
 package sim
 
 import (
-	"fmt"
-	"time"
-
-	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
 	"github.com/tcppuzzles/tcppuzzles/internal/experiments"
-	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
-	"github.com/tcppuzzles/tcppuzzles/puzzle"
 )
 
-// Defense selects the server protection.
-type Defense string
+// Defense selects the server protection. The empty string selects the
+// default (puzzles); DefenseNone is always honoured.
+type Defense = experiments.Defense
 
 // Supported defenses.
 const (
-	DefenseNone     Defense = "none"
-	DefenseCookies  Defense = "cookies"
-	DefenseSYNCache Defense = "syncache"
-	DefensePuzzles  Defense = "puzzles"
+	DefenseNone     = experiments.DefenseNone
+	DefenseCookies  = experiments.DefenseCookies
+	DefenseSYNCache = experiments.DefenseSYNCache
+	DefensePuzzles  = experiments.DefensePuzzles
 )
 
-// Attack selects the botnet behaviour.
-type Attack string
+// Attack selects the botnet behaviour. The empty string selects the
+// default (a connection flood).
+type Attack = experiments.Attack
 
 // Supported attacks.
 const (
-	AttackSYNFlood      Attack = "synflood"
-	AttackConnFlood     Attack = "connflood"
-	AttackSolutionFlood Attack = "solutionflood"
+	AttackSYNFlood      = experiments.AttackSYNFlood
+	AttackConnFlood     = experiments.AttackConnFlood
+	AttackSolutionFlood = experiments.AttackSolutionFlood
+	AttackReplayFlood   = experiments.AttackReplayFlood
 )
 
-// Scenario describes one deployment under attack. The zero value of every
-// field selects the paper's §6 defaults.
-type Scenario struct {
-	// Duration is the run length; the attack spans [AttackStart, AttackStop).
-	Duration    time.Duration
-	AttackStart time.Duration
-	AttackStop  time.Duration
+// NoBotnet as a Scenario.BotCount disables the botnet entirely.
+const NoBotnet = experiments.NoBotnet
 
-	// NumClients clients issue ClientRate requests/second for RequestBytes
-	// of text; ClientsSolve selects patched kernels.
-	NumClients   int
-	ClientRate   float64
-	RequestBytes int
-	ClientsSolve bool
-
-	// Defense and Params configure the server; Backlog/AcceptBacklog size
-	// its queues and Workers its application pool (-1 disables the pool).
-	Defense       Defense
-	Params        puzzle.Params
-	Backlog       int
-	AcceptBacklog int
-	Workers       int
-
-	// Attack, BotCount, PerBotRate and BotsSolve configure the botnet.
-	Attack     Attack
-	BotCount   int
-	PerBotRate float64
-	BotsSolve  bool
-
-	// Seed drives all randomness; equal seeds reproduce runs bit-for-bit.
-	Seed int64
-}
+// Scenario describes one deployment under attack. It is the canonical
+// config type — the same struct drives the public API, every internal
+// figure/table driver, and the benchmarks. The zero value of every field
+// selects the paper's §6 defaults; fields where zero is meaningful use
+// explicit sentinels (NoBotnet, Workers: -1).
+type Scenario = experiments.Scenario
 
 // Result holds materialised measurements from a completed scenario. All
 // series are per-second.
@@ -97,58 +74,27 @@ type Result struct {
 
 // Run executes a scenario to completion.
 func Run(sc Scenario) (*Result, error) {
-	cfg, err := sc.toConfig()
-	if err != nil {
-		return nil, err
-	}
-	run, err := experiments.RunFlood(cfg)
+	run, err := experiments.RunFlood(sc)
 	if err != nil {
 		return nil, err
 	}
 	return materialise(run), nil
 }
 
-func (sc Scenario) toConfig() (experiments.FloodConfig, error) {
-	cfg := experiments.FloodConfig{
-		Duration:      sc.Duration,
-		AttackStart:   sc.AttackStart,
-		AttackStop:    sc.AttackStop,
-		NumClients:    sc.NumClients,
-		ClientRate:    sc.ClientRate,
-		RequestBytes:  sc.RequestBytes,
-		ClientsSolve:  sc.ClientsSolve,
-		Params:        sc.Params,
-		Backlog:       sc.Backlog,
-		AcceptBacklog: sc.AcceptBacklog,
-		Workers:       sc.Workers,
-		BotCount:      sc.BotCount,
-		PerBotRate:    sc.PerBotRate,
-		BotsSolve:     sc.BotsSolve,
-		Seed:          sc.Seed,
+// RunAll executes a grid of independent scenarios on the work-stealing
+// runner and returns the results in grid order. workers <= 0 selects
+// GOMAXPROCS. Results are bit-for-bit identical at every worker count;
+// parallelism divides wall-clock time only.
+func RunAll(workers int, scs []Scenario) ([]*Result, error) {
+	runs, err := experiments.RunScenarios(workers, scs)
+	if err != nil {
+		return nil, err
 	}
-	switch sc.Defense {
-	case "", DefensePuzzles:
-		cfg.Protection = serversim.ProtectionPuzzles
-	case DefenseNone:
-		cfg.Protection = serversim.ProtectionNone
-	case DefenseCookies:
-		cfg.Protection = serversim.ProtectionCookies
-	case DefenseSYNCache:
-		cfg.Protection = serversim.ProtectionSYNCache
-	default:
-		return cfg, fmt.Errorf("sim: unknown defense %q", sc.Defense)
+	results := make([]*Result, len(runs))
+	for i, run := range runs {
+		results[i] = materialise(run)
 	}
-	switch sc.Attack {
-	case "", AttackConnFlood:
-		cfg.AttackKind = attacksim.ConnFlood
-	case AttackSYNFlood:
-		cfg.AttackKind = attacksim.SYNFlood
-	case AttackSolutionFlood:
-		cfg.AttackKind = attacksim.SolutionFlood
-	default:
-		return cfg, fmt.Errorf("sim: unknown attack %q", sc.Attack)
-	}
-	return cfg, nil
+	return results, nil
 }
 
 func materialise(run *experiments.FloodRun) *Result {

@@ -86,6 +86,59 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+func TestRunAllMatchesSequentialRun(t *testing.T) {
+	scs := []Scenario{tinyScenario(), tinyScenario(), tinyScenario(), tinyScenario()}
+	for i := range scs {
+		scs[i].Seed = int64(10 + i)
+	}
+	parallel, err := RunAll(4, scs)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for i, sc := range scs {
+		serial, err := Run(sc)
+		if err != nil {
+			t.Fatalf("Run(%d): %v", i, err)
+		}
+		if len(parallel[i].ClientMbps) != len(serial.ClientMbps) {
+			t.Fatalf("scenario %d: series length mismatch", i)
+		}
+		for j := range serial.ClientMbps {
+			if parallel[i].ClientMbps[j] != serial.ClientMbps[j] {
+				t.Fatalf("scenario %d bucket %d: parallel %v != serial %v",
+					i, j, parallel[i].ClientMbps[j], serial.ClientMbps[j])
+			}
+		}
+		if parallel[i].EffectiveAttackRate != serial.EffectiveAttackRate {
+			t.Errorf("scenario %d: attack rate differs", i)
+		}
+	}
+}
+
+func TestRunAllPropagatesError(t *testing.T) {
+	scs := []Scenario{tinyScenario(), tinyScenario()}
+	scs[1].Attack = "tsunami"
+	if _, err := RunAll(2, scs); err == nil {
+		t.Error("bad scenario accepted")
+	}
+}
+
+func TestRunExperimentWithWorkers(t *testing.T) {
+	// The option must not change results, only execution width. fig9
+	// consumes Scale.Parallelism through the flood-scenario runner.
+	a, err := RunExperiment("fig9", ScaleQuick, WithWorkers(1))
+	if err != nil {
+		t.Fatalf("workers=1: %v", err)
+	}
+	b, err := RunExperiment("fig9", ScaleQuick, WithWorkers(4))
+	if err != nil {
+		t.Fatalf("workers=4: %v", err)
+	}
+	if a[0].String() != b[0].String() {
+		t.Error("worker count changed experiment output")
+	}
+}
+
 func TestRunRejectsUnknownConfig(t *testing.T) {
 	sc := tinyScenario()
 	sc.Defense = "voodoo"
