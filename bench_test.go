@@ -83,7 +83,7 @@ func BenchmarkRunnerParallel(b *testing.B) {
 
 func BenchmarkFig3aClientProfile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3a(0)
+		res, err := experiments.Fig3a(experiments.Scale{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func BenchmarkFig3aClientProfile(b *testing.B) {
 
 func BenchmarkFig3bServerProfile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3b(0)
+		res, err := experiments.Fig3b(experiments.Scale{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -237,7 +237,7 @@ func BenchmarkFig15Adoption(b *testing.B) {
 
 func BenchmarkTable1IoTProfile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Table1(0)
+		res, err := experiments.Table1(experiments.Scale{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -247,7 +247,7 @@ func BenchmarkTable1IoTProfile(b *testing.B) {
 
 func BenchmarkNashExample(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.NashExample(0)
+		res, err := experiments.NashExample(experiments.Scale{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -343,7 +343,10 @@ func BenchmarkPuzzleSolveM12(b *testing.B) {
 
 func BenchmarkAblationMemoryBound(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.AblationMemoryBound()
+		res, err := experiments.AblationMemoryBound(experiments.Scale{})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(res.HashCV, "hash-cv")
 		b.ReportMetric(res.MemCV, "membound-cv")
 	}

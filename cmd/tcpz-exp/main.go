@@ -1,23 +1,32 @@
-// Command tcpz-exp runs the paper's experiments and prints their result
-// tables. Each experiment's scenario grid fans out across the
-// work-stealing runner; -workers bounds the pool (0 = all cores). Results
-// are identical at every worker count.
+// Command tcpz-exp runs the paper's experiments and emits their results.
+// Each experiment's scenario grid fans out across the work-stealing
+// runner; -workers bounds the pool (0 = all cores). Results are identical
+// at every worker count.
+//
+// Besides the default pretty tables, -format csv|json streams every grid
+// cell's structured result (long-format CSV rows, or NDJSON including the
+// per-bucket series) to stdout or -out as runs land. -cache-dir enables
+// the scenario-hash result cache: re-running any experiment skips every
+// already-computed cell and reports the hit/miss counters on stderr.
 //
 // Usage:
 //
 //	tcpz-exp -exp fig8 -scale paper
 //	tcpz-exp -exp all -scale quick -workers 4
+//	tcpz-exp -exp fig12 -scale paper -format csv -out fig12.csv -cache-dir ~/.cache/tcpz
 //	tcpz-exp -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"github.com/tcppuzzles/tcppuzzles/sim"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
 
 func main() {
@@ -30,8 +39,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("tcpz-exp", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment id (see -list) or 'all'")
-	scale := fs.String("scale", "quick", "experiment scale: quick or paper")
+	scale := fs.String("scale", "quick", "experiment scale: tiny, quick or paper")
 	workers := fs.Int("workers", 0, "runner pool width (0 = all cores, 1 = serial)")
+	format := fs.String("format", "table", "output format: table, csv or json (NDJSON)")
+	out := fs.String("out", "", "write experiment output to this file (default stdout)")
+	cacheDir := fs.String("cache-dir", "", "cache completed cells here; repeated runs skip identical scenarios")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,20 +52,70 @@ func run(args []string) error {
 		fmt.Println(strings.Join(sim.ExperimentIDs(), "\n"))
 		return nil
 	}
+
+	opts := []sim.RunOption{sim.WithWorkers(*workers)}
+	var cache *sweep.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = sweep.OpenCache(*cacheDir); err != nil {
+			return err
+		}
+		opts = append(opts, sim.WithCache(cache))
+	}
+
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want table, csv or json)", *format)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	var sink sweep.Sink
+	switch *format {
+	case "csv":
+		sink = sweep.NewCSV(w)
+	case "json":
+		sink = sweep.NewNDJSON(w)
+	}
+	if sink != nil {
+		opts = append(opts, sim.WithSinks(sink))
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = sim.ExperimentIDs()
 	}
 	for _, id := range ids {
 		start := time.Now()
-		tables, err := sim.RunExperiment(id, sim.Scale(*scale), sim.WithWorkers(*workers))
+		ts, err := sim.RunExperiment(id, sim.Scale(*scale), opts...)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
-		for _, t := range tables {
-			fmt.Println(t)
+		if sink == nil {
+			for _, t := range ts {
+				fmt.Fprintln(w, t)
+			}
+			fmt.Fprintf(w, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		} else {
+			// Keep the sink stream clean; progress goes to stderr.
+			fmt.Fprintf(os.Stderr, "(%s completed in %v)\n", id, time.Since(start).Round(time.Millisecond))
 		}
-		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			return err
+		}
+	}
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses (dir %s)\n",
+			cache.Hits(), cache.Misses(), cache.Dir())
 	}
 	return nil
 }

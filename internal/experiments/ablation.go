@@ -4,11 +4,32 @@ import (
 	"fmt"
 
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
+
+// AblationOpportunisticGrid declares the §5 controller ablation pair:
+// opportunistic challenges vs always-on.
+func AblationOpportunisticGrid() sweep.Grid {
+	return sweep.Grid{
+		Base: Scenario{
+			Defense:      DefensePuzzles,
+			Params:       puzzle.Params{K: 2, M: 17, L: 32},
+			Attack:       AttackConnFlood,
+			ClientsSolve: true,
+			BotsSolve:    true,
+		},
+		Axes: []sweep.Axis{sweep.Variants("controller",
+			sweep.Point{Label: "opportunistic"},
+			sweep.Point{Label: "always-on", Set: func(sc *Scenario) { sc.AlwaysChallenge = true }},
+		)},
+	}
+}
 
 // AblationOpportunisticResult contrasts the §5 opportunistic challenge
 // controller against always-on challenges during a connection flood.
 type AblationOpportunisticResult struct {
+	Results []sweep.Result
+	// Opportunistic and AlwaysOn are the live runs (nil on cache hits).
 	Opportunistic *FloodRun
 	AlwaysOn      *FloodRun
 }
@@ -19,23 +40,23 @@ type AblationOpportunisticResult struct {
 // connection even in peacetime. Both arms run in parallel on the shared
 // runner.
 func AblationOpportunistic(scale Scale) (*AblationOpportunisticResult, error) {
-	base := Scenario{
-		Defense:      DefensePuzzles,
-		Params:       puzzle.Params{K: 2, M: 17, L: 32},
-		Attack:       AttackConnFlood,
-		ClientsSolve: true,
-		BotsSolve:    true,
-	}
-	opp := base
-	opp.Label = "opportunistic"
-	always := base
-	always.Label = "always-on"
-	always.AlwaysChallenge = true
-	runs, err := RunScenarios(scale.Parallelism, scale.ApplyAll(opp, always))
+	results, runs, err := runFloodCells(scale, "ablation-opportunistic", "",
+		AblationOpportunisticGrid().Expand(&scale),
+		func(run *FloodRun) ([]sweep.Metric, []sweep.Series) {
+			cli := run.ClientThroughputMbps()
+			return []sweep.Metric{
+					{Name: "client_mbps_before", Value: phaseMean(run, cli, phaseBefore)},
+					{Name: "client_mbps_during", Value: phaseMean(run, cli, phaseDuring)},
+					{Name: "client_mbps_after", Value: phaseMean(run, cli, phaseAfter)},
+				},
+				[]sweep.Series{{Name: "client_mbps", Values: cli}}
+		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ablation opportunistic: %w", err)
 	}
-	return &AblationOpportunisticResult{Opportunistic: runs[0], AlwaysOn: runs[1]}, nil
+	return &AblationOpportunisticResult{
+		Results: results, Opportunistic: runs[0], AlwaysOn: runs[1],
+	}, nil
 }
 
 // Table contrasts peacetime and wartime client throughput.
@@ -44,61 +65,77 @@ func (r *AblationOpportunisticResult) Table() Table {
 		Title:  "Ablation — opportunistic vs always-on challenges",
 		Header: []string{"controller", "cli-before", "cli-during", "cli-after"},
 	}
-	for _, d := range []struct {
-		label string
-		run   *FloodRun
-	}{{"opportunistic", r.Opportunistic}, {"always-on", r.AlwaysOn}} {
-		cli := d.run.ClientThroughputMbps()
+	for _, res := range r.Results {
 		t.Rows = append(t.Rows, []string{
-			d.label,
-			f2(phaseMean(d.run, cli, phaseBefore)),
-			f2(phaseMean(d.run, cli, phaseDuring)),
-			f2(phaseMean(d.run, cli, phaseAfter)),
+			res.Scenario.Label,
+			f2(res.Metric("client_mbps_before")),
+			f2(res.Metric("client_mbps_during")),
+			f2(res.Metric("client_mbps_after")),
 		})
 	}
 	return t
 }
 
+// AblationSolutionFloodGrid declares the §7 "solution floods" cell: a
+// barrage of bogus solutions against a puzzle-protected server.
+func AblationSolutionFloodGrid() sweep.Grid {
+	return sweep.Grid{Axes: []sweep.Axis{sweep.Variants("attack",
+		sweep.Point{Label: "solution-flood", Set: func(sc *Scenario) {
+			sc.Defense = DefensePuzzles
+			sc.Params = puzzle.Params{K: 2, M: 17, L: 32}
+			sc.Attack = AttackSolutionFlood
+			sc.ClientsSolve = true
+		}},
+	)}}
+}
+
 // AblationSolutionFloodResult measures the §7 "solution floods" concern:
 // server CPU under a barrage of bogus solutions.
 type AblationSolutionFloodResult struct {
+	Results []sweep.Result
+	// Run is the live run (nil on a cache hit).
 	Run *FloodRun
 }
 
 // AblationSolutionFlood floods the server with fabricated solutions and
 // reports the induced verification load.
 func AblationSolutionFlood(scale Scale) (*AblationSolutionFloodResult, error) {
-	runs, err := RunScenarios(scale.Parallelism, scale.ApplyAll(Scenario{
-		Label:        "solution-flood",
-		Defense:      DefensePuzzles,
-		Params:       puzzle.Params{K: 2, M: 17, L: 32},
-		Attack:       AttackSolutionFlood,
-		ClientsSolve: true,
-	}))
+	results, runs, err := runFloodCells(scale, "ablation-solutionflood", "",
+		AblationSolutionFloodGrid().Expand(&scale),
+		func(run *FloodRun) ([]sweep.Metric, []sweep.Series) {
+			cpu := run.ServerCPU()
+			var peak float64
+			for _, v := range cpu {
+				if v > peak {
+					peak = v
+				}
+			}
+			m := run.Server.Metrics()
+			return []sweep.Metric{
+					{Name: "server_cpu_during", Value: phaseMean(run, cpu, phaseDuring)},
+					{Name: "server_cpu_peak", Value: peak},
+					{Name: "solutions_rejected", Value: float64(m.SolutionInvalid + m.SolutionMalformed)},
+					{Name: "client_mbps_during", Value: phaseMean(run, run.ClientThroughputMbps(), phaseDuring)},
+				},
+				[]sweep.Series{{Name: "server_cpu_pct", Values: cpu}}
+		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ablation solution flood: %w", err)
 	}
-	return &AblationSolutionFloodResult{Run: runs[0]}, nil
+	return &AblationSolutionFloodResult{Results: results, Run: runs[0]}, nil
 }
 
 // Table reports server CPU and rejection counters.
 func (r *AblationSolutionFloodResult) Table() Table {
-	cpu := r.Run.ServerCPU()
-	var peak float64
-	for _, v := range cpu {
-		if v > peak {
-			peak = v
-		}
-	}
-	m := r.Run.Server.Metrics()
+	res := r.Results[0]
 	return Table{
 		Title:  "Ablation — solution flood (bogus-verification load, §7)",
 		Header: []string{"metric", "value"},
 		Rows: [][]string{
-			{"server CPU during (%)", f2(phaseMean(r.Run, cpu, phaseDuring))},
-			{"server CPU peak (%)", f2(peak)},
-			{"solutions rejected", fmt.Sprintf("%d", m.SolutionInvalid+m.SolutionMalformed)},
-			{"client Mbps during", f2(phaseMean(r.Run, r.Run.ClientThroughputMbps(), phaseDuring))},
+			{"server CPU during (%)", f2(res.Metric("server_cpu_during"))},
+			{"server CPU peak (%)", f2(res.Metric("server_cpu_peak"))},
+			{"solutions rejected", fmt.Sprintf("%d", int64(res.Metric("solutions_rejected")))},
+			{"client Mbps during", f2(res.Metric("client_mbps_during"))},
 		},
 	}
 }

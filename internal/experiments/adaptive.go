@@ -5,75 +5,100 @@ import (
 	"time"
 
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
+
+// AblationAdaptiveGrid declares the closed-loop controller ablation: both
+// servers start at an under-provisioned difficulty (m = 12, which §6.3
+// shows is too easy to throttle attackers) against smart solving bots;
+// one server holds the difficulty fixed, the other adapts.
+func AblationAdaptiveGrid() sweep.Grid {
+	return sweep.Grid{
+		Base: Scenario{
+			Defense:      DefensePuzzles,
+			Params:       puzzle.Params{K: 2, M: 12, L: 32},
+			Attack:       AttackConnFlood,
+			ClientsSolve: true,
+			BotsSolve:    true,
+			// Smart bots bound their backlog so solutions stay fresh — the
+			// attacker model under which an under-provisioned fixed
+			// difficulty actually loses (see Fig. 12).
+			BotMaxSolveBacklog: 2 * time.Second,
+		},
+		Axes: []sweep.Axis{sweep.Variants("server",
+			sweep.Point{Label: "fixed-m12"},
+			sweep.Point{Label: "adaptive", Set: func(sc *Scenario) { sc.AdaptiveDifficulty = true }},
+		)},
+	}
+}
 
 // AblationAdaptiveResult contrasts a fixed difficulty against the §7
 // closed-loop controller when the attack is stronger than the difficulty
 // was provisioned for.
 type AblationAdaptiveResult struct {
+	Results []sweep.Result
+	// Fixed and Adaptive are the live runs (nil on cache hits).
 	Fixed    *FloodRun
 	Adaptive *FloodRun
 	// MTrace is the adaptive run's difficulty over time (per bucket).
 	MTrace []float64
 }
 
-// AblationAdaptive starts both servers at an under-provisioned difficulty
-// (m = 12, which §6.3 shows is too easy to throttle attackers) and sends a
-// connection flood of smart solving bots that keep their solutions fresh.
-// The adaptive server must climb towards an effective difficulty and decay
-// back after the attack.
+// AblationAdaptive runs both arms of the grid; the adaptive server must
+// climb towards an effective difficulty and decay back after the attack.
 func AblationAdaptive(scale Scale) (*AblationAdaptiveResult, error) {
-	base := Scenario{
-		Defense:      DefensePuzzles,
-		Params:       puzzle.Params{K: 2, M: 12, L: 32},
-		Attack:       AttackConnFlood,
-		ClientsSolve: true,
-		BotsSolve:    true,
-		// Smart bots bound their backlog so solutions stay fresh — the
-		// attacker model under which an under-provisioned fixed
-		// difficulty actually loses (see Fig. 12).
-		BotMaxSolveBacklog: 2 * time.Second,
-	}
-	fixed := base
-	fixed.Label = "fixed-m12"
-	adaptive := base
-	adaptive.Label = "adaptive"
-	adaptive.AdaptiveDifficulty = true
-	runs, err := RunScenarios(scale.Parallelism, scale.ApplyAll(fixed, adaptive))
+	results, runs, err := runFloodCells(scale, "ablation-adaptive", "",
+		AblationAdaptiveGrid().Expand(&scale), adaptiveMetrics)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: adaptive ablation: %w", err)
 	}
-	fixedRun, adaptiveRun := runs[0], runs[1]
-	res := &AblationAdaptiveResult{Fixed: fixedRun, Adaptive: adaptiveRun}
-	res.MTrace = adaptiveRun.Server.Metrics().DifficultyM.Sampled(
-		adaptiveRun.Cfg.Bucket, adaptiveRun.Cfg.Duration)
-	// Before the first adjustment the gauge reads zero; backfill with the
-	// baseline for a readable trace.
-	for i, v := range res.MTrace {
-		if v == 0 {
-			res.MTrace[i] = float64(adaptive.Params.M)
-		}
+	return &AblationAdaptiveResult{
+		Results: results, Fixed: runs[0], Adaptive: runs[1],
+		MTrace: results[1].SeriesValues("difficulty_m"),
+	}, nil
+}
+
+func adaptiveMetrics(run *FloodRun) ([]sweep.Metric, []sweep.Series) {
+	metrics := []sweep.Metric{
+		{Name: "attacker_established_during", Value: phaseMean(run, run.AttackerEstablishedRate(), phaseDuring)},
+		{Name: "client_mbps_during", Value: phaseMean(run, run.ClientThroughputMbps(), phaseDuring)},
 	}
-	return res, nil
+	var series []sweep.Series
+	if run.Cfg.AdaptiveDifficulty {
+		trace := run.Server.Metrics().DifficultyM.Sampled(run.Cfg.Bucket, run.Cfg.Duration)
+		// Before the first adjustment the gauge reads zero; backfill with
+		// the baseline for a readable trace.
+		for i, v := range trace {
+			if v == 0 {
+				trace[i] = float64(run.Cfg.Params.M)
+			}
+		}
+		var peak, final float64
+		for _, v := range trace {
+			if v > peak {
+				peak = v
+			}
+		}
+		if len(trace) > 0 {
+			final = trace[len(trace)-1]
+		}
+		metrics = append(metrics,
+			sweep.Metric{Name: "peak_m", Value: peak},
+			sweep.Metric{Name: "final_m", Value: final},
+		)
+		series = append(series, sweep.Series{Name: "difficulty_m", Values: trace})
+	}
+	return metrics, series
 }
 
 // PeakM returns the highest difficulty the controller reached.
 func (r *AblationAdaptiveResult) PeakM() float64 {
-	var peak float64
-	for _, v := range r.MTrace {
-		if v > peak {
-			peak = v
-		}
-	}
-	return peak
+	return r.Results[1].Metric("peak_m")
 }
 
 // FinalM returns the difficulty at the end of the run.
 func (r *AblationAdaptiveResult) FinalM() float64 {
-	if len(r.MTrace) == 0 {
-		return 0
-	}
-	return r.MTrace[len(r.MTrace)-1]
+	return r.Results[1].Metric("final_m")
 }
 
 // Table renders the comparison.
@@ -82,18 +107,15 @@ func (r *AblationAdaptiveResult) Table() Table {
 		Title:  "Ablation — adaptive difficulty (closed loop, §7)",
 		Header: []string{"server", "att-cps-during", "cli-Mbps-during", "m-trace"},
 	}
-	for _, d := range []struct {
-		label string
-		run   *FloodRun
-	}{{"fixed-m12", r.Fixed}, {"adaptive", r.Adaptive}} {
+	for _, res := range r.Results {
 		trace := ""
-		if d.label == "adaptive" {
-			trace = sparkline(downsample(r.MTrace, 40))
+		if m := res.SeriesValues("difficulty_m"); m != nil {
+			trace = sparkline(downsample(m, 40))
 		}
 		t.Rows = append(t.Rows, []string{
-			d.label,
-			f2(phaseMean(d.run, d.run.AttackerEstablishedRate(), phaseDuring)),
-			f2(phaseMean(d.run, d.run.ClientThroughputMbps(), phaseDuring)),
+			res.Scenario.Label,
+			f2(res.Metric("attacker_established_during")),
+			f2(res.Metric("client_mbps_during")),
 			trace,
 		})
 	}

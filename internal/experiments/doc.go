@@ -1,0 +1,18 @@
+// Package experiments reproduces the paper's evaluation (§6): one driver
+// per figure and table, built on the simulated DETER-like testbed.
+//
+// Each driver declares its scenario grid as a sweep.Grid literal —
+// difficulty axes (k, m), defense variants, botnet shapes, adoption mixes
+// — and executes the expanded cells through one shared, cache-aware
+// executor (runCells). Cells fan out across the work-stealing runner
+// (sim/runner); each completed cell becomes a structured sweep.Result
+// (canonical scenario + named metrics and series) that streams to any
+// configured sinks (CSV, NDJSON, pretty tables) in grid order as runs
+// land, and is stored in the scenario-hash result cache so regenerating a
+// figure skips already-computed cells. Driver result structs and their
+// Table() views are derived from the Results, which is why a fully cached
+// regeneration performs zero simulation work yet renders identically.
+//
+// See docs/EXPERIMENTS.md for the paper-to-code map: every figure/table,
+// its driver, its grid axes, and the metrics in its Result records.
+package experiments

@@ -16,7 +16,7 @@ func tinyScale() Scale {
 }
 
 func TestFig3aProfiles(t *testing.T) {
-	res, err := Fig3a(0)
+	res, err := Fig3a(Scale{})
 	if err != nil {
 		t.Fatalf("Fig3a: %v", err)
 	}
@@ -32,7 +32,7 @@ func TestFig3aProfiles(t *testing.T) {
 }
 
 func TestFig3bAlphaConverges(t *testing.T) {
-	res, err := Fig3b(0)
+	res, err := Fig3b(Scale{})
 	if err != nil {
 		t.Fatalf("Fig3b: %v", err)
 	}
@@ -296,7 +296,7 @@ func TestFig15AdoptionOutcomes(t *testing.T) {
 }
 
 func TestTable1DerivedColumns(t *testing.T) {
-	res, err := Table1(0)
+	res, err := Table1(Scale{})
 	if err != nil {
 		t.Fatalf("Table1: %v", err)
 	}
@@ -316,7 +316,7 @@ func TestTable1DerivedColumns(t *testing.T) {
 }
 
 func TestNashExampleMatchesPaper(t *testing.T) {
-	res, err := NashExample(0)
+	res, err := NashExample(Scale{})
 	if err != nil {
 		t.Fatalf("NashExample: %v", err)
 	}
@@ -370,7 +370,7 @@ func TestTablesRender(t *testing.T) {
 	if s := f8.Table().String(); len(s) == 0 {
 		t.Error("empty fig8 table")
 	}
-	t1, err := Table1(0)
+	t1, err := Table1(Scale{})
 	if err != nil {
 		t.Fatalf("Table1: %v", err)
 	}

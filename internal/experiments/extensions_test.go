@@ -6,7 +6,10 @@ import (
 )
 
 func TestAblationMemoryBoundUniformity(t *testing.T) {
-	res := AblationMemoryBound()
+	res, err := AblationMemoryBound(Scale{})
+	if err != nil {
+		t.Fatalf("AblationMemoryBound: %v", err)
+	}
 	if len(res.Rows) != 7 {
 		t.Fatalf("rows = %d, want 7 devices", len(res.Rows))
 	}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/tcppuzzles/tcppuzzles/internal/stats"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
 
 // Fig12Config selects the difficulty grid for Experiment 3.
@@ -14,7 +15,8 @@ type Fig12Config struct {
 	// {12,15,16,17,18,20}.
 	Ks []uint8
 	Ms []uint8
-	// Scale sets the underlying flood scenario (and the runner width).
+	// Scale sets the underlying flood scenario and the execution options
+	// (runner width, sinks, cache).
 	Scale Scale
 }
 
@@ -26,14 +28,35 @@ func (c *Fig12Config) fill() {
 		c.Ms = []uint8{12, 15, 16, 17, 18, 20}
 	}
 	if c.Scale.Duration == 0 {
-		parallelism := c.Scale.Parallelism
+		exec := c.Scale
 		c.Scale = PaperScale()
-		c.Scale.Parallelism = parallelism
+		c.Scale.Parallelism = exec.Parallelism
+		c.Scale.Sinks = exec.Sinks
+		c.Scale.Cache = exec.Cache
 	}
 }
 
-// Fig12Cell is one box of the grid: per-client per-second throughput
-// samples during the attack.
+// Fig12Grid declares the (k, m) difficulty product of Experiment 3 over
+// the canonical connection-flood cell.
+func Fig12Grid(ks, ms []uint8) sweep.Grid {
+	return sweep.Grid{
+		Base: Scenario{
+			Defense:      DefensePuzzles,
+			Attack:       AttackConnFlood,
+			ClientsSolve: true,
+			BotsSolve:    true,
+			// The difficulty sweep assumes the strongest attacker:
+			// bots bound their solve backlog so solutions stay fresh.
+			// A greedy flooder's solutions go stale at any m, which
+			// would make every difficulty look equally effective.
+			BotMaxSolveBacklog: 2 * time.Second,
+		},
+		Axes: []sweep.Axis{sweep.Ks(ks...), sweep.Ms(ms...)},
+	}
+}
+
+// Fig12Cell is one box of the grid: client-throughput statistics during
+// the attack.
 type Fig12Cell struct {
 	Params puzzle.Params
 	Box    stats.Box
@@ -41,7 +64,7 @@ type Fig12Cell struct {
 
 // Fig12Result is the difficulty grid of Experiment 3.
 type Fig12Result struct {
-	Cells []Fig12Cell
+	Results []sweep.Result
 }
 
 // Fig12 sweeps puzzle difficulties during a connection flood and reports
@@ -50,37 +73,24 @@ type Fig12Result struct {
 // is declared up front and executed in parallel on the shared runner.
 func Fig12(cfg Fig12Config) (*Fig12Result, error) {
 	cfg.fill()
-	var grid []Scenario
-	for _, k := range cfg.Ks {
-		for _, m := range cfg.Ms {
-			params := puzzle.Params{K: k, M: m, L: 32}
-			grid = append(grid, Scenario{
-				Label:        params.String(),
-				Defense:      DefensePuzzles,
-				Params:       params,
-				Attack:       AttackConnFlood,
-				ClientsSolve: true,
-				BotsSolve:    true,
-				// The difficulty sweep assumes the strongest attacker:
-				// bots bound their solve backlog so solutions stay fresh.
-				// A greedy flooder's solutions go stale at any m, which
-				// would make every difficulty look equally effective.
-				BotMaxSolveBacklog: 2 * time.Second,
-			})
-		}
-	}
-	runs, err := RunScenarios(cfg.Scale.Parallelism, cfg.Scale.ApplyAll(grid...))
+	cells := Fig12Grid(cfg.Ks, cfg.Ms).Expand(&cfg.Scale)
+	results, _, err := runFloodCells(cfg.Scale, "fig12", "", cells, fig12Metrics)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig12: %w", err)
 	}
-	res := &Fig12Result{}
-	for i, run := range runs {
-		res.Cells = append(res.Cells, Fig12Cell{
-			Params: grid[i].Params,
-			Box:    stats.BoxOf(run.ClientThroughputSamplesDuringAttack()),
-		})
-	}
-	return res, nil
+	return &Fig12Result{Results: results}, nil
+}
+
+func fig12Metrics(run *FloodRun) ([]sweep.Metric, []sweep.Series) {
+	box := stats.BoxOf(run.ClientThroughputSamplesDuringAttack())
+	return []sweep.Metric{
+		{Name: "client_mbps_mean", Value: box.Mean},
+		{Name: "client_mbps_std", Value: box.Std},
+		{Name: "client_mbps_q1", Value: box.Q1},
+		{Name: "client_mbps_med", Value: box.Med},
+		{Name: "client_mbps_q3", Value: box.Q3},
+		{Name: "samples", Value: float64(box.N)},
+	}, nil
 }
 
 // Table renders the grid.
@@ -89,12 +99,13 @@ func (r *Fig12Result) Table() Table {
 		Title:  "Fig 12 — client throughput during attack by difficulty (Mbps)",
 		Header: []string{"k", "m", "mean", "std", "q1", "med", "q3"},
 	}
-	for _, c := range r.Cells {
+	for _, res := range r.Results {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", c.Params.K),
-			fmt.Sprintf("%d", c.Params.M),
-			f2(c.Box.Mean), f2(c.Box.Std),
-			f2(c.Box.Q1), f2(c.Box.Med), f2(c.Box.Q3),
+			fmt.Sprintf("%d", res.Scenario.Params.K),
+			fmt.Sprintf("%d", res.Scenario.Params.M),
+			f2(res.Metric("client_mbps_mean")), f2(res.Metric("client_mbps_std")),
+			f2(res.Metric("client_mbps_q1")), f2(res.Metric("client_mbps_med")),
+			f2(res.Metric("client_mbps_q3")),
 		})
 	}
 	return t
@@ -102,9 +113,19 @@ func (r *Fig12Result) Table() Table {
 
 // CellFor returns the box for a difficulty.
 func (r *Fig12Result) CellFor(k, m uint8) (Fig12Cell, bool) {
-	for _, c := range r.Cells {
-		if c.Params.K == k && c.Params.M == m {
-			return c, true
+	for _, res := range r.Results {
+		if res.Scenario.Params.K == k && res.Scenario.Params.M == m {
+			return Fig12Cell{
+				Params: res.Scenario.Params,
+				Box: stats.Box{
+					N:    int(res.Metric("samples")),
+					Mean: res.Metric("client_mbps_mean"),
+					Std:  res.Metric("client_mbps_std"),
+					Q1:   res.Metric("client_mbps_q1"),
+					Med:  res.Metric("client_mbps_med"),
+					Q3:   res.Metric("client_mbps_q3"),
+				},
+			}, true
 		}
 	}
 	return Fig12Cell{}, false

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
 
 // SweepPoint is one sample of Experiment 4: the botnet's attempted rate
@@ -18,72 +19,11 @@ type SweepPoint struct {
 	CompletionRate float64
 }
 
-// Fig13Result sweeps per-node attack rate at fixed botnet size.
-type Fig13Result struct {
-	Points []SweepPoint
-}
-
-// Fig13 fixes a 5-bot botnet and sweeps the per-node rate, reproducing the
-// finding that rate increases do not raise the effective attack rate. All
-// sweep points run in parallel on the shared runner.
-func Fig13(scale Scale, rates []float64) (*Fig13Result, error) {
-	if len(rates) == 0 {
-		rates = []float64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
-	}
-	grid := make([]Scenario, len(rates))
-	for i, rate := range rates {
-		grid[i] = botnetSweepScenario(scale, 5, rate, fmt.Sprintf("%.0f pps/node", rate))
-	}
-	points, err := runSweep(scale.Parallelism, grid)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig13: %w", err)
-	}
-	return &Fig13Result{Points: points}, nil
-}
-
-// Table renders the rate sweep.
-func (r *Fig13Result) Table() Table {
-	return sweepTable("Fig 13 — rate sweep (5 bots)", r.Points)
-}
-
-// Fig14Result sweeps botnet size at fixed cumulative rate.
-type Fig14Result struct {
-	Points []SweepPoint
-}
-
-// Fig14 fixes the cumulative attack rate at 5000 pps and sweeps the botnet
-// size, reproducing the finding that only more machines raise the effective
-// rate — and only marginally (≈1/100 of the measured rate). All sweep
-// points run in parallel on the shared runner.
-func Fig14(scale Scale, sizes []int, totalRate float64) (*Fig14Result, error) {
-	if len(sizes) == 0 {
-		sizes = []int{2, 4, 6, 8, 10, 12, 14}
-	}
-	if totalRate == 0 {
-		totalRate = 5000
-	}
-	grid := make([]Scenario, len(sizes))
-	for i, size := range sizes {
-		grid[i] = botnetSweepScenario(scale, size, totalRate/float64(size),
-			fmt.Sprintf("%d bots", size))
-	}
-	points, err := runSweep(scale.Parallelism, grid)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig14: %w", err)
-	}
-	return &Fig14Result{Points: points}, nil
-}
-
-// Table renders the size sweep.
-func (r *Fig14Result) Table() Table {
-	return sweepTable("Fig 14 — botnet size sweep (5000 pps total)", r.Points)
-}
-
-// botnetSweepScenario declares one connection flood with solving bots at
-// the Nash difficulty and the given botnet shape.
-func botnetSweepScenario(scale Scale, bots int, perBotRate float64, label string) Scenario {
-	sc := scale.Apply(Scenario{
-		Label:        label,
+// botnetSweepBase is the shared cell of Figs. 13–14: a connection flood
+// of smart solving bots at the Nash difficulty; the axes vary the botnet
+// shape on top.
+func botnetSweepBase() Scenario {
+	return Scenario{
 		Defense:      DefensePuzzles,
 		Params:       puzzle.Params{K: 2, M: 17, L: 32},
 		Attack:       AttackConnFlood,
@@ -92,29 +32,120 @@ func botnetSweepScenario(scale Scale, bots int, perBotRate float64, label string
 		// Strongest attacker: solutions kept fresh, so the completion
 		// rate reflects the per-bot CPU bound rather than staleness.
 		BotMaxSolveBacklog: 2 * time.Second,
-	})
-	// The sweep coordinate overrides the scale's botnet shape.
-	sc.BotCount = bots
-	sc.PerBotRate = perBotRate
-	return sc
+	}
 }
 
-// runSweep executes the sweep grid and measures attempted vs completed
-// rates during the attack window.
-func runSweep(workers int, grid []Scenario) ([]SweepPoint, error) {
-	runs, err := RunScenarios(workers, grid)
-	if err != nil {
-		return nil, err
+// Fig13Grid declares the rate sweep: a fixed 5-bot botnet whose per-node
+// rate varies.
+func Fig13Grid(rates []float64) sweep.Grid {
+	if len(rates) == 0 {
+		rates = []float64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000}
 	}
-	points := make([]SweepPoint, len(runs))
-	for i, run := range runs {
-		points[i] = SweepPoint{
-			Label:              grid[i].Label,
-			MeasuredAttackRate: run.AttackWindowMean(run.MeasuredAttackRate()),
-			CompletionRate:     run.AttackWindowMean(run.AttackerEstablishedRate()),
+	points := make([]sweep.Point, len(rates))
+	for i, rate := range rates {
+		rate := rate
+		points[i] = sweep.Point{
+			Label: fmt.Sprintf("%.0f pps/node", rate),
+			Set: func(sc *Scenario) {
+				sc.BotCount = 5
+				sc.PerBotRate = rate
+			},
 		}
 	}
-	return points, nil
+	return sweep.Grid{Base: botnetSweepBase(), Axes: []sweep.Axis{sweep.Variants("rate", points...)}}
+}
+
+// Fig13Result sweeps per-node attack rate at fixed botnet size.
+type Fig13Result struct {
+	Results []sweep.Result
+	Points  []SweepPoint
+}
+
+// Fig13 fixes a 5-bot botnet and sweeps the per-node rate, reproducing the
+// finding that rate increases do not raise the effective attack rate. All
+// sweep points run in parallel on the shared runner.
+func Fig13(scale Scale, rates []float64) (*Fig13Result, error) {
+	results, err := runBotnetSweep(scale, "fig13", Fig13Grid(rates))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig13: %w", err)
+	}
+	return &Fig13Result{Results: results, Points: sweepPoints(results)}, nil
+}
+
+// Table renders the rate sweep.
+func (r *Fig13Result) Table() Table {
+	return sweepTable("Fig 13 — rate sweep (5 bots)", r.Points)
+}
+
+// Fig14Grid declares the size sweep: the cumulative attack rate stays
+// fixed while the number of machines carrying it varies.
+func Fig14Grid(sizes []int, totalRate float64) sweep.Grid {
+	if len(sizes) == 0 {
+		sizes = []int{2, 4, 6, 8, 10, 12, 14}
+	}
+	if totalRate == 0 {
+		totalRate = 5000
+	}
+	points := make([]sweep.Point, len(sizes))
+	for i, size := range sizes {
+		size := size
+		points[i] = sweep.Point{
+			Label: fmt.Sprintf("%d bots", size),
+			Set: func(sc *Scenario) {
+				sc.BotCount = size
+				sc.PerBotRate = totalRate / float64(size)
+			},
+		}
+	}
+	return sweep.Grid{Base: botnetSweepBase(), Axes: []sweep.Axis{sweep.Variants("bots", points...)}}
+}
+
+// Fig14Result sweeps botnet size at fixed cumulative rate.
+type Fig14Result struct {
+	Results []sweep.Result
+	Points  []SweepPoint
+}
+
+// Fig14 fixes the cumulative attack rate at 5000 pps and sweeps the botnet
+// size, reproducing the finding that only more machines raise the effective
+// rate — and only marginally (≈1/100 of the measured rate). All sweep
+// points run in parallel on the shared runner.
+func Fig14(scale Scale, sizes []int, totalRate float64) (*Fig14Result, error) {
+	results, err := runBotnetSweep(scale, "fig14", Fig14Grid(sizes, totalRate))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fig14: %w", err)
+	}
+	return &Fig14Result{Results: results, Points: sweepPoints(results)}, nil
+}
+
+// Table renders the size sweep.
+func (r *Fig14Result) Table() Table {
+	return sweepTable("Fig 14 — botnet size sweep (5000 pps total)", r.Points)
+}
+
+// runBotnetSweep executes a botnet-shape grid and measures attempted vs
+// completed rates during the attack window.
+func runBotnetSweep(scale Scale, experiment string, grid sweep.Grid) ([]sweep.Result, error) {
+	results, _, err := runFloodCells(scale, experiment, "", grid.Expand(&scale),
+		func(run *FloodRun) ([]sweep.Metric, []sweep.Series) {
+			return []sweep.Metric{
+				{Name: "measured_rate_pps", Value: run.AttackWindowMean(run.MeasuredAttackRate())},
+				{Name: "completion_rate_cps", Value: run.AttackWindowMean(run.AttackerEstablishedRate())},
+			}, nil
+		})
+	return results, err
+}
+
+func sweepPoints(results []sweep.Result) []SweepPoint {
+	points := make([]SweepPoint, len(results))
+	for i, res := range results {
+		points[i] = SweepPoint{
+			Label:              res.Scenario.Label,
+			MeasuredAttackRate: res.Metric("measured_rate_pps"),
+			CompletionRate:     res.Metric("completion_rate_cps"),
+		}
+	}
+	return points
 }
 
 func sweepTable(title string, points []SweepPoint) Table {

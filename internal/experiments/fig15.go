@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
 
 // AdoptionScenario is one of Experiment 5's deployment mixes.
@@ -25,6 +26,28 @@ func Fig15Scenarios() []AdoptionScenario {
 	}
 }
 
+// Fig15Grid declares the adoption-mix axis over the Nash-difficulty
+// connection flood.
+func Fig15Grid() sweep.Grid {
+	mixes := Fig15Scenarios()
+	points := make([]sweep.Point, len(mixes))
+	for i, mix := range mixes {
+		mix := mix
+		points[i] = sweep.Point{Label: mix.Label, Set: func(sc *Scenario) {
+			sc.ClientsSolve = mix.ClientSolves
+			sc.BotsSolve = mix.AttackSolves
+		}}
+	}
+	return sweep.Grid{
+		Base: Scenario{
+			Defense: DefensePuzzles,
+			Params:  puzzle.Params{K: 2, M: 17, L: 32},
+			Attack:  AttackConnFlood,
+		},
+		Axes: []sweep.Axis{sweep.Variants("mix", points...)},
+	}
+}
+
 // Fig15Cell is one scenario's outcome.
 type Fig15Cell struct {
 	Scenario AdoptionScenario
@@ -37,7 +60,8 @@ type Fig15Cell struct {
 
 // Fig15Result is the adoption study.
 type Fig15Result struct {
-	Cells []Fig15Cell
+	Results []sweep.Result
+	Cells   []Fig15Cell
 }
 
 // Fig15 measures how unpatched (non-solving) clients fare against solving
@@ -47,31 +71,25 @@ type Fig15Result struct {
 // against non-solving attackers. The four adoption mixes run in parallel
 // on the shared runner.
 func Fig15(scale Scale) (*Fig15Result, error) {
-	mixes := Fig15Scenarios()
-	grid := make([]Scenario, len(mixes))
-	for i, mix := range mixes {
-		grid[i] = Scenario{
-			Label:        mix.Label,
-			Defense:      DefensePuzzles,
-			Params:       puzzle.Params{K: 2, M: 17, L: 32},
-			Attack:       AttackConnFlood,
-			ClientsSolve: mix.ClientSolves,
-			BotsSolve:    mix.AttackSolves,
-		}
-	}
-	runs, err := RunScenarios(scale.Parallelism, scale.ApplyAll(grid...))
+	results, _, err := runFloodCells(scale, "fig15", "", Fig15Grid().Expand(&scale), fig15Metrics)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig15: %w", err)
 	}
-	res := &Fig15Result{}
-	for i, run := range runs {
+	mixes := Fig15Scenarios()
+	res := &Fig15Result{Results: results}
+	for i, result := range results {
 		res.Cells = append(res.Cells, Fig15Cell{
 			Scenario:       mixes[i],
-			PctEstablished: pctEstablishedDuring(run),
-			Series:         pctSeries(run),
+			PctEstablished: result.Metric("pct_established"),
+			Series:         result.SeriesValues("pct_established"),
 		})
 	}
 	return res, nil
+}
+
+func fig15Metrics(run *FloodRun) ([]sweep.Metric, []sweep.Series) {
+	return []sweep.Metric{{Name: "pct_established", Value: pctEstablishedDuring(run)}},
+		[]sweep.Series{{Name: "pct_established", Values: pctSeries(run)}}
 }
 
 // pctEstablishedDuring computes completed/attempted over the attack window.

@@ -1,17 +1,29 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/tcppuzzles/tcppuzzles/game"
 	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
 	"github.com/tcppuzzles/tcppuzzles/internal/mm1"
-	"github.com/tcppuzzles/tcppuzzles/sim/runner"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
+
+// Fig3aGrid declares one cell per profiled client CPU.
+func Fig3aGrid() sweep.Grid {
+	devices := cpumodel.ClientCPUs()
+	points := make([]sweep.Point, len(devices))
+	for i, dev := range devices {
+		points[i] = sweep.Point{Label: dev.Name}
+	}
+	return sweep.Grid{Axes: []sweep.Axis{sweep.Variants("cpu", points...)}}
+}
 
 // Fig3aResult is the client performance profile of Fig. 3a: cumulative
 // hashes over time per CPU, and the fleet w_av.
 type Fig3aResult struct {
+	Results []sweep.Result
 	Step    time.Duration
 	Horizon time.Duration
 	Curves  map[string][]float64
@@ -19,22 +31,29 @@ type Fig3aResult struct {
 }
 
 // Fig3a profiles the paper's three client CPUs over one second, one
-// runner job per device. workers bounds the pool (0 = GOMAXPROCS).
-func Fig3a(workers int) (*Fig3aResult, error) {
+// runner job per device. The scale supplies execution options only.
+func Fig3a(scale Scale) (*Fig3aResult, error) {
 	const (
 		step    = 100 * time.Millisecond
 		horizon = time.Second
 	)
 	devices := cpumodel.ClientCPUs()
-	curves, err := runner.Map(workers, len(devices), func(i int) ([]float64, error) {
-		return cpumodel.HashCurve(devices[i], step, horizon), nil
-	})
+	results, err := runCells(scale, "fig3a", "", Fig3aGrid().Expand(nil),
+		func(i int, _ Scenario) ([]sweep.Metric, []sweep.Series, error) {
+			dev := devices[i]
+			curve := cpumodel.HashCurve(dev, step, horizon)
+			return []sweep.Metric{
+					{Name: "hash_rate", Value: dev.HashRate},
+					{Name: "hashes_in_400ms", Value: dev.HashesIn(400 * time.Millisecond)},
+				},
+				[]sweep.Series{{Name: "cumulative_hashes", Values: curve}}, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	res := &Fig3aResult{Step: step, Horizon: horizon, Curves: map[string][]float64{}}
-	for i, dev := range devices {
-		res.Curves[dev.Name] = curves[i]
+	res := &Fig3aResult{Results: results, Step: step, Horizon: horizon, Curves: map[string][]float64{}}
+	for _, r := range results {
+		res.Curves[r.Scenario.Label] = r.SeriesValues("cumulative_hashes")
 	}
 	wav, err := cpumodel.FleetWav(devices, 400*time.Millisecond)
 	if err != nil {
@@ -64,11 +83,24 @@ func (r *Fig3aResult) Table() Table {
 	return t
 }
 
+// fig3bLevels is the ab concurrency sweep of Fig. 3b.
+var fig3bLevels = []int{1, 5, 10, 25, 50, 100, 200, 400, 600, 800, 1000}
+
+// Fig3bGrid declares one cell per stress-test concurrency level.
+func Fig3bGrid() sweep.Grid {
+	points := make([]sweep.Point, len(fig3bLevels))
+	for i, level := range fig3bLevels {
+		points[i] = sweep.Point{Label: fmt.Sprintf("c=%d", level)}
+	}
+	return sweep.Grid{Axes: []sweep.Axis{sweep.Variants("concurrent", points...)}}
+}
+
 // Fig3bResult is the server profile of Fig. 3b: service rate and service
 // parameter α per concurrency level.
 type Fig3bResult struct {
-	Points []Fig3bPoint
-	Alpha  float64
+	Results []sweep.Result
+	Points  []Fig3bPoint
+	Alpha   float64
 }
 
 // Fig3bPoint is one sweep sample.
@@ -79,23 +111,23 @@ type Fig3bPoint struct {
 }
 
 // Fig3b stress-tests the modelled Apache deployment across concurrency
-// levels (the ab sweep) and extracts the converged α. workers bounds the
-// per-level runner pool (0 = GOMAXPROCS).
-func Fig3b(workers int) (*Fig3bResult, error) {
+// levels (the ab sweep) and extracts the converged α. The scale supplies
+// execution options only.
+func Fig3b(scale Scale) (*Fig3bResult, error) {
 	cfg := mm1.PaperStress()
-	levels := []int{1, 5, 10, 25, 50, 100, 200, 400, 600, 800, 1000}
-	points := cfg.Sweep(levels)
-	sweep, err := runner.Map(workers, len(points), func(i int) (Fig3bPoint, error) {
-		a, err := game.Alpha(points[i])
-		if err != nil {
-			return Fig3bPoint{}, err
-		}
-		return Fig3bPoint{
-			Concurrent:  points[i].Concurrent,
-			ServiceRate: points[i].ServiceRate,
-			Alpha:       a,
-		}, nil
-	})
+	points := cfg.Sweep(fig3bLevels)
+	results, err := runCells(scale, "fig3b", "", Fig3bGrid().Expand(nil),
+		func(i int, _ Scenario) ([]sweep.Metric, []sweep.Series, error) {
+			a, err := game.Alpha(points[i])
+			if err != nil {
+				return nil, nil, err
+			}
+			return []sweep.Metric{
+				{Name: "concurrent", Value: float64(points[i].Concurrent)},
+				{Name: "service_rate", Value: points[i].ServiceRate},
+				{Name: "alpha", Value: a},
+			}, nil, nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +135,15 @@ func Fig3b(workers int) (*Fig3bResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fig3bResult{Points: sweep, Alpha: alpha}, nil
+	res := &Fig3bResult{Results: results, Alpha: alpha}
+	for _, r := range results {
+		res.Points = append(res.Points, Fig3bPoint{
+			Concurrent:  int(r.Metric("concurrent")),
+			ServiceRate: r.Metric("service_rate"),
+			Alpha:       r.Metric("alpha"),
+		})
+	}
+	return res, nil
 }
 
 // Table renders the Fig. 3b sweep.

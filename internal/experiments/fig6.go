@@ -9,9 +9,14 @@ import (
 	"github.com/tcppuzzles/tcppuzzles/internal/netsim"
 	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
 	"github.com/tcppuzzles/tcppuzzles/internal/stats"
-	"github.com/tcppuzzles/tcppuzzles/puzzle"
-	"github.com/tcppuzzles/tcppuzzles/sim/runner"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
+
+// fig6ConnectionGap is the spacing between Fig. 6's sequential
+// handshakes; each cell's Scenario.Duration encodes its connection count
+// as (connections + 2) gaps, so the canonical scenario fully determines
+// the cell (and therefore its cache hash).
+const fig6ConnectionGap = 5 * time.Second
 
 // Fig6Config scales Experiment 1 (connection-time CDFs across k and m).
 type Fig6Config struct {
@@ -23,8 +28,9 @@ type Fig6Config struct {
 	Connections int
 	// Seed drives randomness.
 	Seed int64
-	// Parallelism is the runner width for the grid (0 = GOMAXPROCS).
-	Parallelism int
+	// Scale supplies execution options only (runner width, sinks,
+	// cache); Fig. 6 has no flood to rescale.
+	Scale Scale
 }
 
 func (c *Fig6Config) fill() {
@@ -42,43 +48,56 @@ func (c *Fig6Config) fill() {
 	}
 }
 
-// Fig6Cell is one CDF of the grid.
-type Fig6Cell struct {
-	Params puzzle.Params
-	// CDF is over connection times in microseconds (the paper's axis).
-	CDF *stats.CDF
+// Fig6Grid declares the (k, m) difficulty product of Experiment 1. Each
+// cell is a single always-challenged client performing sequential
+// handshakes; the duration encodes the connection count.
+func Fig6Grid(ks, ms []uint8, connections int, seed int64) sweep.Grid {
+	return sweep.Grid{
+		Base: Scenario{
+			Duration:     time.Duration(connections+2) * fig6ConnectionGap,
+			NumClients:   1,
+			RequestBytes: 1000,
+			ClientsSolve: true,
+			Defense:      DefensePuzzles,
+			AlwaysChallenge: true,
+			Attack:          AttackConnFlood, // canonical default; no botnet runs
+			BotCount:        NoBotnet,
+			Seed:            seed,
+		},
+		Axes: []sweep.Axis{sweep.Ks(ks...), sweep.Ms(ms...)},
+	}
 }
 
 // Fig6Result is the full grid.
 type Fig6Result struct {
-	Cells []Fig6Cell
+	Results []sweep.Result
 }
 
 // Fig6 measures handshake completion time CDFs as (k, m) vary, with
 // challenges forced on (no attack, LAN latency). Connection time includes
 // the solve time on the modelled client CPU plus the LAN round trips, so
 // the paper's structure — exponential growth in m, linear growth in k —
-// is preserved.
+// is preserved. Each cell builds its own engine, server and client from
+// the cell's derived seed, so the grid fans out on the shared runner.
 func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 	cfg.fill()
-	var grid []puzzle.Params
-	for _, k := range cfg.Ks {
-		for _, m := range cfg.Ms {
-			grid = append(grid, puzzle.Params{K: k, M: m, L: 32})
-		}
-	}
-	// Each cell builds its own engine, server and client from the cell's
-	// derived seed, so the grid fans out on the shared runner.
-	cells, err := runner.Map(cfg.Parallelism, len(grid), func(i int) (Fig6Cell, error) {
-		return fig6Cell(grid[i], cfg)
-	})
+	grid := Fig6Grid(cfg.Ks, cfg.Ms, cfg.Connections, cfg.Seed)
+	results, err := runCells(cfg.Scale, "fig6", "", grid.Expand(nil),
+		func(_ int, sc Scenario) ([]sweep.Metric, []sweep.Series, error) {
+			return fig6Cell(sc)
+		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig6: %w", err)
 	}
-	return &Fig6Result{Cells: cells}, nil
+	return &Fig6Result{Results: results}, nil
 }
 
-func fig6Cell(params puzzle.Params, cfg Fig6Config) (Fig6Cell, error) {
+// fig6Cell runs one difficulty cell: sequential handshakes on a LAN, no
+// attack, reporting the connection-time distribution in microseconds (the
+// paper's axis).
+func fig6Cell(sc Scenario) ([]sweep.Metric, []sweep.Series, error) {
+	params := sc.Params
+	connections := int(sc.Duration/fig6ConnectionGap) - 2
 	eng := netsim.NewEngine()
 	network := netsim.NewNetwork(eng)
 	// LAN links: negligible propagation so solve time dominates, as in the
@@ -90,45 +109,53 @@ func fig6Cell(params puzzle.Params, cfg Fig6Config) (Fig6Cell, error) {
 		AlwaysChallenge: true,
 		PuzzleParams:    params,
 		SimulatedCrypto: true,
-		Seed:            cfg.Seed,
+		Seed:            sc.Seed,
 	})
 	if err != nil {
-		return Fig6Cell{}, err
+		return nil, nil, err
 	}
 	client, err := clientsim.New(eng, network, lan, clientsim.Config{
 		Addr:            [4]byte{10, 1, 0, 1},
 		ServerAddr:      srv.Addr(),
 		Solves:          true,
 		SimulatedCrypto: true,
-		RequestBytes:    1000,
+		RequestBytes:    sc.RequestBytes,
 		Device:          cpumodel.CPU1,
 		MaxSolveBacklog: time.Hour, // sequential connects; never abandon
-		Seed:            cfg.Seed + int64(params.K)*100 + int64(params.M),
+		Seed:            sc.Seed + int64(params.K)*100 + int64(params.M),
 	})
 	if err != nil {
-		return Fig6Cell{}, err
+		return nil, nil, err
 	}
 	// Issue connections sequentially so solves do not queue behind each
 	// other (the paper measures isolated connection times).
 	var connect func()
-	remaining := cfg.Connections
+	remaining := connections
 	connect = func() {
 		if remaining == 0 {
 			return
 		}
 		remaining--
 		client.Connect()
-		eng.Schedule(5*time.Second, connect)
+		eng.Schedule(fig6ConnectionGap, connect)
 	}
 	eng.ScheduleAt(0, connect)
-	eng.Run(time.Duration(cfg.Connections+2) * 5 * time.Second)
+	eng.Run(sc.Duration)
 
 	times := client.Metrics().ConnTimes
 	micros := make([]float64, len(times))
 	for i, s := range times {
 		micros[i] = s * 1e6
 	}
-	return Fig6Cell{Params: params, CDF: stats.NewCDF(micros)}, nil
+	cdf := stats.NewCDF(micros)
+	metrics := []sweep.Metric{
+		{Name: "conn_time_mean_us", Value: cdf.Mean()},
+		{Name: "conn_time_p10_us", Value: cdf.Quantile(0.10)},
+		{Name: "conn_time_p50_us", Value: cdf.Quantile(0.50)},
+		{Name: "conn_time_p90_us", Value: cdf.Quantile(0.90)},
+		{Name: "samples", Value: float64(cdf.Len())},
+	}
+	return metrics, nil, nil
 }
 
 // Table renders mean and quantiles per grid cell.
@@ -137,15 +164,15 @@ func (r *Fig6Result) Table() Table {
 		Title:  "Fig 6 — connection time vs difficulty (µs)",
 		Header: []string{"k", "m", "mean", "p10", "p50", "p90", "n"},
 	}
-	for _, c := range r.Cells {
+	for _, res := range r.Results {
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", c.Params.K),
-			fmt.Sprintf("%d", c.Params.M),
-			f1(c.CDF.Mean()),
-			f1(c.CDF.Quantile(0.10)),
-			f1(c.CDF.Quantile(0.50)),
-			f1(c.CDF.Quantile(0.90)),
-			fmt.Sprintf("%d", c.CDF.Len()),
+			fmt.Sprintf("%d", res.Scenario.Params.K),
+			fmt.Sprintf("%d", res.Scenario.Params.M),
+			f1(res.Metric("conn_time_mean_us")),
+			f1(res.Metric("conn_time_p10_us")),
+			f1(res.Metric("conn_time_p50_us")),
+			f1(res.Metric("conn_time_p90_us")),
+			fmt.Sprintf("%d", int(res.Metric("samples"))),
 		})
 	}
 	return t
@@ -154,9 +181,9 @@ func (r *Fig6Result) Table() Table {
 // MeanFor returns the mean connection time (µs) for a difficulty, used by
 // shape assertions.
 func (r *Fig6Result) MeanFor(k, m uint8) (float64, bool) {
-	for _, c := range r.Cells {
-		if c.Params.K == k && c.Params.M == m {
-			return c.CDF.Mean(), true
+	for _, res := range r.Results {
+		if res.Scenario.Params.K == k && res.Scenario.Params.M == m {
+			return res.Metric("conn_time_mean_us"), true
 		}
 	}
 	return 0, false

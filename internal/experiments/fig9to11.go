@@ -4,29 +4,71 @@ import (
 	"fmt"
 
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
+
+// nashFlood is the canonical §6 attack cell: a connection flood of
+// solving bots against solving clients at the Nash difficulty.
+func nashFlood(label string) sweep.Point {
+	return sweep.Point{Label: label, Set: func(sc *Scenario) {
+		sc.Defense = DefensePuzzles
+		sc.Params = puzzle.Params{K: 2, M: 17, L: 32}
+		sc.Attack = AttackConnFlood
+		sc.ClientsSolve = true
+		sc.BotsSolve = true
+	}}
+}
+
+// Fig9Grid declares the single Nash-difficulty connection-flood cell
+// whose CPU profile Fig. 9 reports.
+func Fig9Grid() sweep.Grid {
+	return sweep.Grid{Axes: []sweep.Axis{sweep.Variants("defense", nashFlood("challenges-m17"))}}
+}
 
 // Fig9Result is the CPU-utilisation view of the Nash-difficulty connection
 // flood (Fig. 9).
 type Fig9Result struct {
+	Results []sweep.Result
+	// Run is the live flood run (nil on a cache hit).
 	Run *FloodRun
 }
 
 // Fig9 runs a connection flood at the Nash difficulty and reports CPU
 // utilisation at clients, server and attackers.
 func Fig9(scale Scale) (*Fig9Result, error) {
-	runs, err := RunScenarios(scale.Parallelism, scale.ApplyAll(Scenario{
-		Label:        "challenges-m17",
-		Defense:      DefensePuzzles,
-		Params:       puzzle.Params{K: 2, M: 17, L: 32},
-		Attack:       AttackConnFlood,
-		ClientsSolve: true,
-		BotsSolve:    true,
-	}))
+	results, runs, err := runFloodCells(scale, "fig9", "", Fig9Grid().Expand(&scale), fig9Metrics)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig9: %w", err)
 	}
-	return &Fig9Result{Run: runs[0]}, nil
+	return &Fig9Result{Results: results, Run: runs[0]}, nil
+}
+
+func fig9Metrics(run *FloodRun) ([]sweep.Metric, []sweep.Series) {
+	var metrics []sweep.Metric
+	var series []sweep.Series
+	for _, role := range []struct {
+		name   string
+		values []float64
+	}{
+		{"client_cpu_pct", run.ClientCPU()},
+		{"server_cpu_pct", run.ServerCPU()},
+		{"attacker_cpu_pct", run.AttackerCPU()},
+	} {
+		var peak float64
+		for _, v := range role.values {
+			if v > peak {
+				peak = v
+			}
+		}
+		metrics = append(metrics,
+			sweep.Metric{Name: role.name + "_before", Value: phaseMean(run, role.values, phaseBefore)},
+			sweep.Metric{Name: role.name + "_during", Value: phaseMean(run, role.values, phaseDuring)},
+			sweep.Metric{Name: role.name + "_after", Value: phaseMean(run, role.values, phaseAfter)},
+			sweep.Metric{Name: role.name + "_peak", Value: peak},
+		)
+		series = append(series, sweep.Series{Name: role.name, Values: role.values})
+	}
+	return metrics, series
 }
 
 // Table reports phase means and peaks of %CPU per role.
@@ -35,36 +77,83 @@ func (r *Fig9Result) Table() Table {
 		Title:  "Fig 9 — %CPU during connection flood (Nash difficulty)",
 		Header: []string{"role", "before", "during", "after", "peak", "series"},
 	}
-	rows := []struct {
-		role   string
-		series []float64
+	res := r.Results[0]
+	for _, role := range []struct {
+		label, name string
 	}{
-		{"client", r.Run.ClientCPU()},
-		{"server", r.Run.ServerCPU()},
-		{"attacker", r.Run.AttackerCPU()},
-	}
-	for _, row := range rows {
-		var peak float64
-		for _, v := range row.series {
-			if v > peak {
-				peak = v
-			}
-		}
+		{"client", "client_cpu_pct"},
+		{"server", "server_cpu_pct"},
+		{"attacker", "attacker_cpu_pct"},
+	} {
 		t.Rows = append(t.Rows, []string{
-			row.role,
-			f1(phaseMean(r.Run, row.series, phaseBefore)),
-			f1(phaseMean(r.Run, row.series, phaseDuring)),
-			f1(phaseMean(r.Run, row.series, phaseAfter)),
-			f1(peak),
-			sparkline(downsample(row.series, 40)),
+			role.label,
+			f1(res.Metric(role.name + "_before")),
+			f1(res.Metric(role.name + "_during")),
+			f1(res.Metric(role.name + "_after")),
+			f1(res.Metric(role.name + "_peak")),
+			sparkline(downsample(res.SeriesValues(role.name), 40)),
 		})
 	}
 	return t
 }
 
+// fig10Grid declares the queue-occupancy scenario pair of Figs. 10–11:
+// puzzles vs cookies under the same connection flood.
+func fig10Grid() sweep.Grid {
+	return sweep.Grid{Axes: []sweep.Axis{sweep.Variants("defense",
+		nashFlood("challenges"),
+		sweep.Point{Label: "cookies", Set: func(sc *Scenario) {
+			sc.Defense = DefenseCookies
+			sc.Attack = AttackConnFlood
+			sc.ClientsSolve = true
+			sc.BotsSolve = true
+		}},
+	)}}
+}
+
+// Fig10Grid declares the Fig. 10 scenario pair.
+func Fig10Grid() sweep.Grid { return fig10Grid() }
+
+// Fig11Grid declares the Fig. 11 scenario pair (the same deployments as
+// Fig. 10, measured for effective attack rate).
+func Fig11Grid() sweep.Grid { return fig10Grid() }
+
+// queueAndRateMetrics measures both the queue occupancy of Fig. 10 and
+// the effective attack rate of Fig. 11, so the two figures share one
+// extraction (and their tables stay derivable from either experiment's
+// cached Results).
+func queueAndRateMetrics(run *FloodRun) ([]sweep.Metric, []sweep.Series) {
+	listen, accept := run.QueueSizes()
+	estab := run.AttackerEstablishedRate()
+	peak := func(series []float64) float64 {
+		var p float64
+		for _, v := range series {
+			if v > p {
+				p = v
+			}
+		}
+		return p
+	}
+	metrics := []sweep.Metric{
+		{Name: "listen_queue_during", Value: phaseMean(run, listen, phaseDuring)},
+		{Name: "listen_queue_peak", Value: peak(listen)},
+		{Name: "accept_queue_during", Value: phaseMean(run, accept, phaseDuring)},
+		{Name: "accept_queue_peak", Value: peak(accept)},
+		{Name: "attacker_established_during", Value: phaseMean(run, estab, phaseDuring)},
+	}
+	series := []sweep.Series{
+		{Name: "listen_queue", Values: listen},
+		{Name: "accept_queue", Values: accept},
+		{Name: "attacker_established_cps", Values: estab},
+	}
+	return metrics, series
+}
+
 // Fig10Result traces queue occupancy under a connection flood for puzzles
 // vs cookies (Fig. 10).
 type Fig10Result struct {
+	Results []sweep.Result
+	// Puzzles and Cookies are the live runs (nil on cache hits).
 	Puzzles *FloodRun
 	Cookies *FloodRun
 }
@@ -72,27 +161,11 @@ type Fig10Result struct {
 // Fig10 runs the two defenses in parallel and captures listen/accept queue
 // sizes.
 func Fig10(scale Scale) (*Fig10Result, error) {
-	runs, err := RunScenarios(scale.Parallelism, scale.ApplyAll(
-		Scenario{
-			Label:        "challenges",
-			Defense:      DefensePuzzles,
-			Params:       puzzle.Params{K: 2, M: 17, L: 32},
-			Attack:       AttackConnFlood,
-			ClientsSolve: true,
-			BotsSolve:    true,
-		},
-		Scenario{
-			Label:        "cookies",
-			Defense:      DefenseCookies,
-			Attack:       AttackConnFlood,
-			ClientsSolve: true,
-			BotsSolve:    true,
-		},
-	))
+	results, runs, err := runFloodCells(scale, "fig10", "fig10-11", Fig10Grid().Expand(&scale), queueAndRateMetrics)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig10: %w", err)
 	}
-	return &Fig10Result{Puzzles: runs[0], Cookies: runs[1]}, nil
+	return &Fig10Result{Results: results, Puzzles: runs[0], Cookies: runs[1]}, nil
 }
 
 // Table reports queue occupancy during the attack.
@@ -101,46 +174,41 @@ func (r *Fig10Result) Table() Table {
 		Title:  "Fig 10 — queue occupancy during connection flood",
 		Header: []string{"defense", "queue", "during-mean", "peak", "series"},
 	}
-	add := func(label string, run *FloodRun) {
-		listen, accept := run.QueueSizes()
+	for _, res := range r.Results {
 		for _, q := range []struct {
-			name   string
-			series []float64
-		}{{"listen", listen}, {"accept", accept}} {
-			var peak float64
-			for _, v := range q.series {
-				if v > peak {
-					peak = v
-				}
-			}
+			name, metric, series string
+		}{
+			{"listen", "listen_queue", "listen_queue"},
+			{"accept", "accept_queue", "accept_queue"},
+		} {
 			t.Rows = append(t.Rows, []string{
-				label, q.name,
-				f1(phaseMean(run, q.series, phaseDuring)),
-				f1(peak),
-				sparkline(downsample(q.series, 40)),
+				res.Scenario.Label, q.name,
+				f1(res.Metric(q.metric + "_during")),
+				f1(res.Metric(q.metric + "_peak")),
+				sparkline(downsample(res.SeriesValues(q.series), 40)),
 			})
 		}
 	}
-	add("challenges", r.Puzzles)
-	add("cookies", r.Cookies)
 	return t
 }
 
 // Fig11Result compares the botnet's effective (completed-connection) rate
 // under puzzles vs cookies (Fig. 11).
 type Fig11Result struct {
+	Results []sweep.Result
+	// Puzzles and Cookies are the live runs (nil on cache hits).
 	Puzzles *FloodRun
 	Cookies *FloodRun
 }
 
-// Fig11 reuses the Fig. 10 scenario pair and extracts attacker completion
+// Fig11 runs the Fig. 10 scenario pair and extracts attacker completion
 // rates.
 func Fig11(scale Scale) (*Fig11Result, error) {
-	f10, err := Fig10(scale)
+	results, runs, err := runFloodCells(scale, "fig11", "fig10-11", Fig11Grid().Expand(&scale), queueAndRateMetrics)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: fig11: %w", err)
 	}
-	return &Fig11Result{Puzzles: f10.Puzzles, Cookies: f10.Cookies}, nil
+	return &Fig11Result{Results: results, Puzzles: runs[0], Cookies: runs[1]}, nil
 }
 
 // Table reports effective attack rates (cps) during the attack window.
@@ -149,15 +217,11 @@ func (r *Fig11Result) Table() Table {
 		Title:  "Fig 11 — effective attack rate (completed connections/s)",
 		Header: []string{"defense", "mean-during", "series"},
 	}
-	for _, d := range []struct {
-		label string
-		run   *FloodRun
-	}{{"challenges", r.Puzzles}, {"cookies", r.Cookies}} {
-		rate := d.run.AttackerEstablishedRate()
+	for _, res := range r.Results {
 		t.Rows = append(t.Rows, []string{
-			d.label,
-			f2(phaseMean(d.run, rate, phaseDuring)),
-			sparkline(downsample(rate, 40)),
+			res.Scenario.Label,
+			f2(res.Metric("attacker_established_during")),
+			sparkline(downsample(res.SeriesValues("attacker_established_cps"), 40)),
 		})
 	}
 	return t
@@ -166,8 +230,8 @@ func (r *Fig11Result) Table() Table {
 // ReductionFactor returns cookies/puzzles effective-rate ratio — the paper
 // reports 225/4 ≈ 37×.
 func (r *Fig11Result) ReductionFactor() float64 {
-	p := phaseMean(r.Puzzles, r.Puzzles.AttackerEstablishedRate(), phaseDuring)
-	c := phaseMean(r.Cookies, r.Cookies.AttackerEstablishedRate(), phaseDuring)
+	p := r.Results[0].Metric("attacker_established_during")
+	c := r.Results[1].Metric("attacker_established_during")
 	if p <= 0 {
 		return 0
 	}

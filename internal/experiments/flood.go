@@ -4,100 +4,144 @@ import (
 	"fmt"
 
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
 
-// DefenseRun couples a label with a completed flood run.
+// DefenseRun couples a label with a completed flood run. Runs are only
+// populated for cells that actually simulated; on cache hits the Run is
+// nil and all reporting derives from the Results.
 type DefenseRun struct {
 	Label string
 	Run   *FloodRun
 }
 
-// defenseRuns executes a labelled scenario grid on the shared runner and
-// pairs each completed run with its label.
-func defenseRuns(scale Scale, grid []Scenario) ([]DefenseRun, error) {
-	runs, err := RunScenarios(scale.Parallelism, scale.ApplyAll(grid...))
+// defenseRuns executes a defense-variant grid through the shared executor
+// and pairs each cell with its label.
+func defenseRuns(scale Scale, experiment string, grid sweep.Grid) ([]sweep.Result, []DefenseRun, error) {
+	cells := grid.Expand(&scale)
+	results, runs, err := runFloodCells(scale, experiment, "", cells, floodComparisonMetrics)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make([]DefenseRun, len(runs))
 	for i, run := range runs {
-		out[i] = DefenseRun{Label: grid[i].Label, Run: run}
+		out[i] = DefenseRun{Label: cells[i].Label, Run: run}
 	}
-	return out, nil
+	return results, out, nil
+}
+
+// floodComparisonMetrics measures client/server throughput in the three
+// attack phases — the record behind Figs. 7 and 8.
+func floodComparisonMetrics(run *FloodRun) ([]sweep.Metric, []sweep.Series) {
+	cli := run.ClientThroughputMbps()
+	srv := run.ServerThroughputMbps()
+	metrics := []sweep.Metric{
+		{Name: "client_mbps_before", Value: phaseMean(run, cli, phaseBefore)},
+		{Name: "client_mbps_during", Value: phaseMean(run, cli, phaseDuring)},
+		{Name: "client_mbps_after", Value: phaseMean(run, cli, phaseAfter)},
+		{Name: "server_mbps_before", Value: phaseMean(run, srv, phaseBefore)},
+		{Name: "server_mbps_during", Value: phaseMean(run, srv, phaseDuring)},
+		{Name: "server_mbps_after", Value: phaseMean(run, srv, phaseAfter)},
+	}
+	series := []sweep.Series{
+		{Name: "client_mbps", Values: cli},
+		{Name: "server_mbps", Values: srv},
+	}
+	return metrics, series
+}
+
+// Fig7Grid declares the SYN-flood defense comparison of Fig. 7: no
+// defense, SYN cookies, puzzles at (1,8), and puzzles at the Nash
+// difficulty (2,17), all against patched clients.
+func Fig7Grid() sweep.Grid {
+	return sweep.Grid{
+		Base: Scenario{Attack: AttackSYNFlood, ClientsSolve: true},
+		Axes: []sweep.Axis{sweep.Variants("defense",
+			sweep.Point{Label: "nodefense", Set: func(sc *Scenario) { sc.Defense = DefenseNone }},
+			sweep.Point{Label: "cookies", Set: func(sc *Scenario) { sc.Defense = DefenseCookies }},
+			sweep.Point{Label: "challenges-m8", Set: func(sc *Scenario) {
+				sc.Defense = DefensePuzzles
+				sc.Params = puzzle.Params{K: 1, M: 8, L: 32}
+			}},
+			sweep.Point{Label: "challenges-m17", Set: func(sc *Scenario) {
+				sc.Defense = DefensePuzzles
+				sc.Params = puzzle.Params{K: 2, M: 17, L: 32}
+			}},
+		)},
+	}
 }
 
 // Fig7Result compares defenses under a SYN flood.
 type Fig7Result struct {
-	Runs []DefenseRun
+	Results []sweep.Result
+	Runs    []DefenseRun
 }
 
-// Fig7 runs the SYN-flood comparison of Fig. 7: no defense, SYN cookies,
-// puzzles at (1,8), and puzzles at the Nash difficulty (2,17). Clients run
-// patched kernels. The four deployments are independent and run in
-// parallel on the shared runner.
+// Fig7 runs the Fig7Grid deployments in parallel on the shared runner.
 func Fig7(scale Scale) (*Fig7Result, error) {
-	grid := []Scenario{
-		{Label: "nodefense", Defense: DefenseNone, Attack: AttackSYNFlood, ClientsSolve: true},
-		{Label: "cookies", Defense: DefenseCookies, Attack: AttackSYNFlood, ClientsSolve: true},
-		{Label: "challenges-m8", Defense: DefensePuzzles, Params: puzzle.Params{K: 1, M: 8, L: 32},
-			Attack: AttackSYNFlood, ClientsSolve: true},
-		{Label: "challenges-m17", Defense: DefensePuzzles, Params: puzzle.Params{K: 2, M: 17, L: 32},
-			Attack: AttackSYNFlood, ClientsSolve: true},
-	}
-	runs, err := defenseRuns(scale, grid)
+	results, runs, err := defenseRuns(scale, "fig7", Fig7Grid())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig7: %w", err)
 	}
-	return &Fig7Result{Runs: runs}, nil
+	return &Fig7Result{Results: results, Runs: runs}, nil
 }
 
 // Table summarises throughput before/during/after the attack per defense.
 func (r *Fig7Result) Table() Table {
-	return floodComparisonTable("Fig 7 — SYN flood: throughput (Mbps)", r.Runs)
+	return floodComparisonTable("Fig 7 — SYN flood: throughput (Mbps)", r.Results)
+}
+
+// Fig8Grid declares the connection-flood comparison of Fig. 8: no
+// defense, SYN cookies, and puzzles at the Nash difficulty. The bots run
+// patched kernels (they solve when challenged), matching §6's deployment.
+func Fig8Grid() sweep.Grid {
+	return sweep.Grid{
+		Base: Scenario{Attack: AttackConnFlood, ClientsSolve: true, BotsSolve: true},
+		Axes: []sweep.Axis{sweep.Variants("defense",
+			sweep.Point{Label: "nodefense", Set: func(sc *Scenario) { sc.Defense = DefenseNone }},
+			sweep.Point{Label: "cookies", Set: func(sc *Scenario) { sc.Defense = DefenseCookies }},
+			sweep.Point{Label: "challenges-m17", Set: func(sc *Scenario) {
+				sc.Defense = DefensePuzzles
+				sc.Params = puzzle.Params{K: 2, M: 17, L: 32}
+			}},
+		)},
+	}
 }
 
 // Fig8Result compares defenses under a connection flood.
 type Fig8Result struct {
-	Runs []DefenseRun
+	Results []sweep.Result
+	Runs    []DefenseRun
 }
 
-// Fig8 runs the connection-flood comparison of Fig. 8: no defense, SYN
-// cookies, and puzzles at the Nash difficulty. The bots run patched kernels
-// (they solve when challenged), matching §6's deployment.
+// Fig8 runs the Fig8Grid deployments in parallel on the shared runner.
 func Fig8(scale Scale) (*Fig8Result, error) {
-	grid := []Scenario{
-		{Label: "nodefense", Defense: DefenseNone, Attack: AttackConnFlood,
-			ClientsSolve: true, BotsSolve: true},
-		{Label: "cookies", Defense: DefenseCookies, Attack: AttackConnFlood,
-			ClientsSolve: true, BotsSolve: true},
-		{Label: "challenges-m17", Defense: DefensePuzzles, Params: puzzle.Params{K: 2, M: 17, L: 32},
-			Attack: AttackConnFlood, ClientsSolve: true, BotsSolve: true},
-	}
-	runs, err := defenseRuns(scale, grid)
+	results, runs, err := defenseRuns(scale, "fig8", Fig8Grid())
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig8: %w", err)
 	}
-	return &Fig8Result{Runs: runs}, nil
+	return &Fig8Result{Results: results, Runs: runs}, nil
 }
 
 // Table summarises throughput before/during/after the attack per defense.
 func (r *Fig8Result) Table() Table {
-	return floodComparisonTable("Fig 8 — connection flood: throughput (Mbps)", r.Runs)
+	return floodComparisonTable("Fig 8 — connection flood: throughput (Mbps)", r.Results)
 }
 
-// RunFor returns the run with the given label.
+// RunFor returns the live run with the given label (nil Run on cache
+// hits).
 func (r *Fig8Result) RunFor(label string) (*FloodRun, bool) {
-	for _, d := range r.Runs {
-		if d.Label == label {
-			return d.Run, true
-		}
-	}
-	return nil, false
+	return runFor(r.Runs, label)
 }
 
-// RunFor returns the run with the given label.
+// RunFor returns the live run with the given label (nil Run on cache
+// hits).
 func (r *Fig7Result) RunFor(label string) (*FloodRun, bool) {
-	for _, d := range r.Runs {
+	return runFor(r.Runs, label)
+}
+
+func runFor(runs []DefenseRun, label string) (*FloodRun, bool) {
+	for _, d := range runs {
 		if d.Label == label {
 			return d.Run, true
 		}
@@ -107,8 +151,9 @@ func (r *Fig7Result) RunFor(label string) (*FloodRun, bool) {
 
 // floodComparisonTable renders client/server throughput in the three
 // phases (before/during/after attack) plus a sparkline of the server
-// series.
-func floodComparisonTable(title string, runs []DefenseRun) Table {
+// series, straight from the structured Results so cached cells render
+// identically to freshly simulated ones.
+func floodComparisonTable(title string, results []sweep.Result) Table {
 	t := Table{
 		Title: title,
 		Header: []string{
@@ -116,19 +161,16 @@ func floodComparisonTable(title string, runs []DefenseRun) Table {
 			"srv-before", "srv-during", "srv-after", "server-series",
 		},
 	}
-	for _, d := range runs {
-		run := d.Run
-		cli := run.ClientThroughputMbps()
-		srv := run.ServerThroughputMbps()
+	for _, res := range results {
 		t.Rows = append(t.Rows, []string{
-			d.Label,
-			f2(phaseMean(run, cli, phaseBefore)),
-			f2(phaseMean(run, cli, phaseDuring)),
-			f2(phaseMean(run, cli, phaseAfter)),
-			f2(phaseMean(run, srv, phaseBefore)),
-			f2(phaseMean(run, srv, phaseDuring)),
-			f2(phaseMean(run, srv, phaseAfter)),
-			sparkline(downsample(srv, 40)),
+			res.Scenario.Label,
+			f2(res.Metric("client_mbps_before")),
+			f2(res.Metric("client_mbps_during")),
+			f2(res.Metric("client_mbps_after")),
+			f2(res.Metric("server_mbps_before")),
+			f2(res.Metric("server_mbps_during")),
+			f2(res.Metric("server_mbps_after")),
+			sparkline(downsample(res.SeriesValues("server_mbps"), 40)),
 		})
 	}
 	return t

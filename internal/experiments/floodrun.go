@@ -27,11 +27,11 @@ type FloodRun struct {
 // concurrently (see RunScenarios) with bit-for-bit identical results.
 func RunFlood(sc Scenario) (*FloodRun, error) {
 	sc = sc.Defaults()
-	protection, err := sc.protection()
+	protection, err := protectionFor(sc)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	attackKind, err := sc.attackKind()
+	attackKind, err := attackKindFor(sc)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)
 	}

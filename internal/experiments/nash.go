@@ -8,16 +8,27 @@ import (
 	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
 	"github.com/tcppuzzles/tcppuzzles/internal/mm1"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
-	"github.com/tcppuzzles/tcppuzzles/sim/runner"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
+
+// nashFiniteN is the population size of the finite-N numeric cross-check.
+const nashFiniteN = 2000
+
+// NashGrid declares the single worked-example cell of §4.4.
+func NashGrid() sweep.Grid {
+	return sweep.Grid{Axes: []sweep.Axis{sweep.Variants("example",
+		sweep.Point{Label: "nash-equilibrium"},
+	)}}
+}
 
 // NashResult is the worked example of §4.4: model parameters measured from
 // the profiles, the equilibrium work level, and the selected (k, m).
 type NashResult struct {
-	Wav    float64
-	Alpha  float64
-	LStar  float64
-	Params puzzle.Params
+	Results []sweep.Result
+	Wav     float64
+	Alpha   float64
+	LStar   float64
+	Params  puzzle.Params
 	// FiniteLStar is the finite-N numeric optimum for cross-validation.
 	FiniteLStar float64
 	FiniteN     int
@@ -25,45 +36,57 @@ type NashResult struct {
 
 // NashExample reproduces §4.4 end-to-end: w_av from the client CPU
 // profiles, α from the stress test, ℓ* from Theorem 1, (k*, m*) from the
-// practical selection procedure, and a finite-N numeric cross-check.
-// workers bounds the runner pool for the independent closing steps
-// (0 = GOMAXPROCS).
-func NashExample(workers int) (*NashResult, error) {
-	wav, err := cpumodel.FleetWav(cpumodel.ClientCPUs(), 400*time.Millisecond)
+// practical selection procedure, and a finite-N numeric cross-check. The
+// scale supplies execution options only.
+func NashExample(scale Scale) (*NashResult, error) {
+	results, err := runCells(scale, "nash", "", NashGrid().Expand(nil),
+		func(_ int, _ Scenario) ([]sweep.Metric, []sweep.Series, error) {
+			wav, err := cpumodel.FleetWav(cpumodel.ClientCPUs(), 400*time.Millisecond)
+			if err != nil {
+				return nil, nil, err
+			}
+			stress := mm1.PaperStress()
+			alpha, err := game.AlphaFromStress(stress.Sweep([]int{10, 100, 500, 1000}))
+			if err != nil {
+				return nil, nil, err
+			}
+			lstar, err := game.LStar(wav, alpha)
+			if err != nil {
+				return nil, nil, err
+			}
+			params, err := game.SelectParams(wav, alpha, game.SelectionConfig{})
+			if err != nil {
+				return nil, nil, err
+			}
+			g := game.UniformGame(nashFiniteN, wav, alpha*nashFiniteN)
+			finite, err := g.OptimalDifficulty()
+			if err != nil {
+				return nil, nil, err
+			}
+			return []sweep.Metric{
+				{Name: "w_av", Value: wav},
+				{Name: "alpha", Value: alpha},
+				{Name: "l_star", Value: lstar},
+				{Name: "k_star", Value: float64(params.K)},
+				{Name: "m_star", Value: float64(params.M)},
+				{Name: "finite_l_star", Value: finite},
+				{Name: "finite_n", Value: nashFiniteN},
+			}, nil, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	stress := mm1.PaperStress()
-	alpha, err := game.AlphaFromStress(stress.Sweep([]int{10, 100, 500, 1000}))
-	if err != nil {
-		return nil, err
-	}
-	lstar, err := game.LStar(wav, alpha)
-	if err != nil {
-		return nil, err
-	}
-	// The closed-form parameter selection and the finite-N numeric
-	// cross-check depend only on (w_av, α); run them as independent jobs.
-	const n = 2000
-	var params puzzle.Params
-	var finite float64
-	err = runner.ForEach(workers, 2, func(i int) error {
-		var err error
-		switch i {
-		case 0:
-			params, err = game.SelectParams(wav, alpha, game.SelectionConfig{})
-		case 1:
-			g := game.UniformGame(n, wav, alpha*n)
-			finite, err = g.OptimalDifficulty()
-		}
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
+	res := results[0]
 	return &NashResult{
-		Wav: wav, Alpha: alpha, LStar: lstar, Params: params,
-		FiniteLStar: finite, FiniteN: n,
+		Results: results,
+		Wav:     res.Metric("w_av"),
+		Alpha:   res.Metric("alpha"),
+		LStar:   res.Metric("l_star"),
+		Params: puzzle.Params{
+			K: uint8(res.Metric("k_star")), M: uint8(res.Metric("m_star")), L: 32,
+		},
+		FiniteLStar: res.Metric("finite_l_star"),
+		FiniteN:     int(res.Metric("finite_n")),
 	}, nil
 }
 

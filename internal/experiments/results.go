@@ -3,48 +3,14 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
 
-// Table is a generic tabular result: every experiment renders one so the
-// CLI and benchmarks print uniform output.
-type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
-}
-
-// String renders the table with aligned columns.
-func (t Table) String() string {
-	widths := make([]int, len(t.Header))
-	for i, h := range t.Header {
-		widths[i] = len(h)
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-	var b strings.Builder
-	if t.Title != "" {
-		fmt.Fprintf(&b, "== %s ==\n", t.Title)
-	}
-	writeRow := func(cells []string) {
-		for i, cell := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.Header)
-	for _, row := range t.Rows {
-		writeRow(row)
-	}
-	return b.String()
-}
+// Table is the generic tabular view every experiment renders so the CLI
+// and benchmarks print uniform output. The type lives in the sweep
+// package next to the structured Result it is derived from.
+type Table = sweep.Table
 
 // f1, f2, f3 format floats at fixed precision for table cells.
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,8 +1,3 @@
-// Package experiments reproduces the paper's evaluation (§6): one driver
-// per figure and table, built on the simulated DETER-like testbed. Each
-// driver declares its scenarios as data, submits them to the shared
-// work-stealing runner (sim/runner), and returns a structured result that
-// renders the same rows/series the paper reports.
 package experiments
 
 import (
@@ -11,145 +6,43 @@ import (
 
 	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
 	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
-	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
 
-// Defense selects the server protection. The empty string selects the
-// paper's default (puzzles); every named variant — including DefenseNone —
-// is always honoured, so no configuration is unreachable by defaulting.
-type Defense string
+// The canonical configuration types live in the public sweep package (the
+// DOE layer below this one); the aliases keep every driver, test, and the
+// sim façade on literally the same types.
+type (
+	// Scenario is the canonical description of one deployment under
+	// attack. See sweep.Scenario.
+	Scenario = sweep.Scenario
+	// Scale rescales a scenario's deployment and carries execution
+	// options (runner width, sinks, cache). See sweep.Scale.
+	Scale = sweep.Scale
+	// Defense selects the server protection.
+	Defense = sweep.Defense
+	// Attack selects the botnet behaviour.
+	Attack = sweep.Attack
+)
 
-// Supported defenses.
+// Re-exported enum values and sentinels.
 const (
-	DefenseNone     Defense = "none"
-	DefenseCookies  Defense = "cookies"
-	DefenseSYNCache Defense = "syncache"
-	DefensePuzzles  Defense = "puzzles"
+	DefenseNone     = sweep.DefenseNone
+	DefenseCookies  = sweep.DefenseCookies
+	DefenseSYNCache = sweep.DefenseSYNCache
+	DefensePuzzles  = sweep.DefensePuzzles
+
+	AttackSYNFlood      = sweep.AttackSYNFlood
+	AttackConnFlood     = sweep.AttackConnFlood
+	AttackSolutionFlood = sweep.AttackSolutionFlood
+	AttackReplayFlood   = sweep.AttackReplayFlood
+
+	// NoBotnet as a Scenario.BotCount disables the botnet entirely.
+	NoBotnet = sweep.NoBotnet
 )
 
-// Attack selects the botnet behaviour. The empty string selects the
-// paper's default (a connection flood).
-type Attack string
-
-// Supported attacks.
-const (
-	AttackSYNFlood      Attack = "synflood"
-	AttackConnFlood     Attack = "connflood"
-	AttackSolutionFlood Attack = "solutionflood"
-	AttackReplayFlood   Attack = "replayflood"
-)
-
-// NoBotnet as a Scenario.BotCount disables the botnet entirely. (Zero
-// means "default", so opting out needs an explicit sentinel.)
-const NoBotnet = -1
-
-// Scenario is the canonical description of one deployment under attack:
-// one server, a set of clients requesting text, and a botnet. It is the
-// single config type shared by the public sim façade, every figure/table
-// driver, the benchmarks, and the runner.
-//
-// The zero value of every field selects the paper's §6 defaults (see
-// Defaults). Fields where zero is meaningful use explicit sentinels:
-// BotCount: NoBotnet runs without a botnet, Workers: -1 disables the
-// application worker pool, and the Defense/Attack enums are strings so
-// "unset" ("") is distinct from every real variant.
-type Scenario struct {
-	// Label names the run in result tables.
-	Label string
-
-	// Duration is the experiment length; the attack runs over
-	// [AttackStart, AttackStop).
-	Duration    time.Duration
-	AttackStart time.Duration
-	AttackStop  time.Duration
-	// Bucket is the metric bucket width.
-	Bucket time.Duration
-
-	// NumClients client hosts each issue ClientRate requests/second for
-	// RequestBytes of text.
-	NumClients   int
-	ClientRate   float64
-	RequestBytes int
-	// ClientsSolve selects patched client kernels.
-	ClientsSolve bool
-
-	// Defense and Params configure the server protection.
-	Defense         Defense
-	Params          puzzle.Params
-	AlwaysChallenge bool
-	// AdaptiveDifficulty enables the server's closed-loop controller.
-	AdaptiveDifficulty bool
-	// Workers sizes the application pool (-1 disables it); Backlog and
-	// AcceptBacklog size the server queues.
-	Workers       int
-	Backlog       int
-	AcceptBacklog int
-
-	// Attack, BotCount, PerBotRate and BotsSolve configure the botnet.
-	// BotCount: NoBotnet runs the deployment without attackers.
-	Attack     Attack
-	BotCount   int
-	PerBotRate float64
-	BotsSolve  bool
-	// BotMaxSolveBacklog makes solving bots "smart": they discard stale
-	// challenges instead of queueing greedily (zero = greedy default).
-	BotMaxSolveBacklog time.Duration
-
-	// Seed drives all randomness; equal seeds reproduce runs bit-for-bit.
-	// Every scenario builds its own RNG from this seed, so grids of
-	// scenarios are independent and safe to run in parallel.
-	Seed int64
-}
-
-// Defaults returns a copy with the paper's §6 defaults applied to every
-// unset field: 15 clients at 20 req/s, a 10-bot botnet at 500 pps each,
-// attack over [120 s, 480 s) of a 600 s run, puzzles at the Nash
-// difficulty. Explicit sentinels (NoBotnet, Workers: -1) pass through.
-func (sc Scenario) Defaults() Scenario {
-	if sc.Duration == 0 {
-		sc.Duration = 600 * time.Second
-	}
-	if sc.AttackStart == 0 {
-		sc.AttackStart = 120 * time.Second
-	}
-	if sc.AttackStop == 0 {
-		sc.AttackStop = 480 * time.Second
-	}
-	if sc.Bucket == 0 {
-		sc.Bucket = time.Second
-	}
-	if sc.NumClients == 0 {
-		sc.NumClients = 15
-	}
-	if sc.ClientRate == 0 {
-		sc.ClientRate = 20
-	}
-	if sc.RequestBytes == 0 {
-		sc.RequestBytes = 100_000
-	}
-	if sc.Defense == "" {
-		sc.Defense = DefensePuzzles
-	}
-	if sc.Params == (puzzle.Params{}) {
-		sc.Params = puzzle.Params{K: 2, M: 17, L: 32}
-	}
-	if sc.Attack == "" {
-		sc.Attack = AttackConnFlood
-	}
-	if sc.BotCount == 0 {
-		sc.BotCount = 10
-	}
-	if sc.PerBotRate == 0 {
-		sc.PerBotRate = 500
-	}
-	if sc.Seed == 0 {
-		sc.Seed = 1
-	}
-	return sc
-}
-
-// protection resolves the defense enum for the server simulator.
-func (sc Scenario) protection() (serversim.Protection, error) {
+// protectionFor resolves the defense enum for the server simulator.
+func protectionFor(sc Scenario) (serversim.Protection, error) {
 	switch sc.Defense {
 	case "", DefensePuzzles:
 		return serversim.ProtectionPuzzles, nil
@@ -164,8 +57,8 @@ func (sc Scenario) protection() (serversim.Protection, error) {
 	}
 }
 
-// attackKind resolves the attack enum for the botnet simulator.
-func (sc Scenario) attackKind() (attacksim.Kind, error) {
+// attackKindFor resolves the attack enum for the botnet simulator.
+func attackKindFor(sc Scenario) (attacksim.Kind, error) {
 	switch sc.Attack {
 	case "", AttackConnFlood:
 		return attacksim.ConnFlood, nil
@@ -178,34 +71,6 @@ func (sc Scenario) attackKind() (attacksim.Kind, error) {
 	default:
 		return 0, fmt.Errorf("unknown attack %q", sc.Attack)
 	}
-}
-
-// Scale overrides a Scenario's deployment size so the paper's full
-// 600-second evaluation shrinks for tests and benchmarks while preserving
-// structure. Composing Scale.Apply with Scenario.Defaults replaces the
-// old FloodConfig.fill / FloodScale.apply pair.
-type Scale struct {
-	// Duration, AttackStart, AttackStop override the timeline.
-	Duration, AttackStart, AttackStop time.Duration
-	// NumClients, ClientRate, BotCount, PerBotRate override the load.
-	NumClients int
-	ClientRate float64
-	BotCount   int
-	PerBotRate float64
-	// Backlog and AcceptBacklog size the server queues; reduced runs must
-	// shrink them with the attack rate so floods saturate them on the same
-	// relative timescale as the paper's 5000 pps vs 4096 slots.
-	Backlog       int
-	AcceptBacklog int
-	// Workers sizes the application pool; reduced runs shrink it so the
-	// flood overwhelms the drain rate by the same factor as at full scale.
-	Workers int
-	// Seed overrides the seed when non-zero.
-	Seed int64
-	// Parallelism is the runner worker count used when a driver fans a
-	// grid of scenarios out (0 = GOMAXPROCS). It never affects results,
-	// only wall-clock time.
-	Parallelism int
 }
 
 // PaperScale is the full-size evaluation of §6.
@@ -227,36 +92,13 @@ func QuickScale() Scale {
 	}
 }
 
-// Apply overrides the scenario's deployment-size knobs with the scale's.
-// Explicit "off" sentinels survive rescaling: a Scenario that opted out
-// of the botnet (BotCount: NoBotnet) or the worker pool (Workers: -1)
-// keeps that choice at every scale.
-func (s Scale) Apply(sc Scenario) Scenario {
-	sc.Duration = s.Duration
-	sc.AttackStart = s.AttackStart
-	sc.AttackStop = s.AttackStop
-	sc.NumClients = s.NumClients
-	sc.ClientRate = s.ClientRate
-	if sc.BotCount != NoBotnet {
-		sc.BotCount = s.BotCount
-		sc.PerBotRate = s.PerBotRate
+// TinyScale is the smallest deployment that still preserves the attack
+// structure (the unit tests' scale). It backs `tcpz-exp -scale tiny` and
+// the CI cache round-trip, where wall-clock matters more than fidelity.
+func TinyScale() Scale {
+	return Scale{
+		Duration: 60 * time.Second, AttackStart: 15 * time.Second, AttackStop: 45 * time.Second,
+		NumClients: 4, ClientRate: 8, BotCount: 4, PerBotRate: 80,
+		Backlog: 128, AcceptBacklog: 128, Workers: 48, Seed: 42,
 	}
-	sc.Backlog = s.Backlog
-	sc.AcceptBacklog = s.AcceptBacklog
-	if sc.Workers >= 0 {
-		sc.Workers = s.Workers
-	}
-	if s.Seed != 0 {
-		sc.Seed = s.Seed
-	}
-	return sc
-}
-
-// ApplyAll applies the scale to a whole scenario grid.
-func (s Scale) ApplyAll(scs ...Scenario) []Scenario {
-	out := make([]Scenario, len(scs))
-	for i, sc := range scs {
-		out[i] = s.Apply(sc)
-	}
-	return out
 }

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/sweep"
+)
+
+// tinySweepGrid is a small mixed-defense design for end-to-end sweep
+// tests; cells carry their own deployment size (RunSweep applies no
+// scale).
+func tinySweepGrid() sweep.Grid {
+	return sweep.Grid{
+		Base: Scenario{
+			Duration: 30 * time.Second, AttackStart: 8 * time.Second, AttackStop: 22 * time.Second,
+			NumClients: 3, ClientRate: 8, BotCount: 3, PerBotRate: 60,
+			Backlog: 96, AcceptBacklog: 96, Workers: 32,
+			ClientsSolve: true, BotsSolve: true, Seed: 11,
+		},
+		Axes: []sweep.Axis{
+			sweep.Defenses(DefenseCookies, DefensePuzzles),
+			sweep.Seeds(11, 12),
+		},
+	}
+}
+
+// The serialization half of the determinism guarantee: CSV and NDJSON
+// sink output must be byte-identical at every runner worker count, even
+// though cells complete in different orders.
+func TestSinkOutputIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sweep grid at three worker counts")
+	}
+	grid := tinySweepGrid()
+	render := func(workers int) (csvOut, jsonOut string) {
+		var csvBuf, jsonBuf bytes.Buffer
+		scale := Scale{
+			Parallelism: workers,
+			Sinks:       []sweep.Sink{sweep.NewCSV(&csvBuf), sweep.NewNDJSON(&jsonBuf)},
+		}
+		if _, err := RunSweep(scale, grid); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return csvBuf.String(), jsonBuf.String()
+	}
+	wantCSV, wantJSON := render(1)
+	if wantCSV == "" || wantJSON == "" {
+		t.Fatal("empty sink output")
+	}
+	for _, workers := range []int{4, 8} {
+		gotCSV, gotJSON := render(workers)
+		if gotCSV != wantCSV {
+			t.Errorf("workers=%d: CSV differs from workers=1:\n%s\nvs\n%s", workers, gotCSV, wantCSV)
+		}
+		if gotJSON != wantJSON {
+			t.Errorf("workers=%d: NDJSON differs from workers=1", workers)
+		}
+	}
+}
+
+// Cache behaviour at the executor level, with a synthetic compute so the
+// test proves "cache hit = zero compute" without any simulation.
+func TestRunCellsCacheSkipsCompute(t *testing.T) {
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := sweep.Grid{Axes: []sweep.Axis{sweep.Seeds(1, 2, 3)}}.Expand(nil)
+	var computed atomic.Int64
+	compute := func(i int, sc Scenario) ([]sweep.Metric, []sweep.Series, error) {
+		computed.Add(1)
+		return []sweep.Metric{{Name: "seed", Value: float64(sc.Seed)}},
+			[]sweep.Series{{Name: "trace", Values: []float64{float64(i)}}}, nil
+	}
+	scale := Scale{Cache: cache}
+
+	first, err := runCells(scale, "cachetest", "", cells, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := computed.Load(); got != 3 {
+		t.Fatalf("first run computed %d cells, want 3", got)
+	}
+	if cache.Hits() != 0 || cache.Misses() != 3 {
+		t.Fatalf("first run hits=%d misses=%d, want 0/3", cache.Hits(), cache.Misses())
+	}
+
+	second, err := runCells(scale, "cachetest", "", cells, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := computed.Load(); got != 3 {
+		t.Errorf("second run re-computed cells: total %d, want 3", got)
+	}
+	if cache.Hits() != 3 || cache.Misses() != 3 {
+		t.Errorf("second run hits=%d misses=%d, want 3/3", cache.Hits(), cache.Misses())
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cached results differ:\n%+v\nvs\n%+v", first, second)
+	}
+
+	// A different experiment namespace must not see the entries.
+	if _, err := runCells(scale, "othertest", "", cells, compute); err != nil {
+		t.Fatal(err)
+	}
+	if got := computed.Load(); got != 6 {
+		t.Errorf("other namespace computed %d total, want 6", got)
+	}
+}
+
+// End-to-end: a cached sweep re-run performs zero simulation work and
+// produces byte-identical sink output.
+func TestRunSweepCachedRerunIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates a small flood grid twice")
+	}
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := tinySweepGrid()
+	run := func() string {
+		var buf bytes.Buffer
+		scale := Scale{Sinks: []sweep.Sink{sweep.NewCSV(&buf)}, Cache: cache}
+		if _, err := RunSweep(scale, grid); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := run()
+	cells := int64(len(grid.Expand(nil)))
+	if cache.Misses() != cells || cache.Hits() != 0 {
+		t.Fatalf("first run hits=%d misses=%d, want 0/%d", cache.Hits(), cache.Misses(), cells)
+	}
+	second := run()
+	if cache.Hits() != cells {
+		t.Errorf("second run hits=%d, want %d (100%% cache hits)", cache.Hits(), cells)
+	}
+	if first != second {
+		t.Errorf("cached re-run output differs:\n%s\nvs\n%s", first, second)
+	}
+}
+
+// Figs. 10 and 11 run the same cells with the same metric extraction;
+// they share a cache namespace so regenerating one makes the other free.
+func TestFig10And11ShareCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the fig10 scenario pair")
+	}
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := TinyScale()
+	scale.Cache = cache
+	f10, err := Fig10(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Hits() != 0 || cache.Misses() != 2 {
+		t.Fatalf("fig10 hits=%d misses=%d, want 0/2", cache.Hits(), cache.Misses())
+	}
+	f11, err := Fig11(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Hits() != 2 {
+		t.Errorf("fig11 hits=%d, want 2 (shared namespace)", cache.Hits())
+	}
+	if f11.Puzzles != nil {
+		t.Error("fig11 simulated despite cache hits")
+	}
+	if f10.Results[0].Metric("attacker_established_during") !=
+		f11.Results[0].Metric("attacker_established_during") {
+		t.Error("shared cells report different metrics")
+	}
+}
+
+// Errors from a failing cell must name the cell.
+func TestRunCellsNamesFailingCell(t *testing.T) {
+	cells := sweep.Grid{Axes: []sweep.Axis{sweep.Seeds(1, 2)}}.Expand(nil)
+	_, err := runCells(Scale{}, "errtest", "", cells,
+		func(i int, sc Scenario) ([]sweep.Metric, []sweep.Series, error) {
+			if sc.Seed == 2 {
+				return nil, nil, fmt.Errorf("boom")
+			}
+			return nil, nil, nil
+		})
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte(`"seed=2"`)) {
+		t.Errorf("error does not name the failing cell: %v", err)
+	}
+}

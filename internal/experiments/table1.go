@@ -5,8 +5,19 @@ import (
 
 	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
-	"github.com/tcppuzzles/tcppuzzles/sim/runner"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
+
+// Table1Grid declares one cell per embedded device of the paper's
+// Table 1.
+func Table1Grid() sweep.Grid {
+	devices := cpumodel.IoTDevices()
+	points := make([]sweep.Point, len(devices))
+	for i, dev := range devices {
+		points[i] = sweep.Point{Label: dev.Name}
+	}
+	return sweep.Grid{Axes: []sweep.Axis{sweep.Variants("device", points...)}}
+}
 
 // Table1Row is one embedded device of the paper's Table 1, extended with
 // the implied Nash-difficulty solve time and attack rate — the analysis of
@@ -21,32 +32,43 @@ type Table1Row struct {
 
 // Table1Result is the embedded-device study.
 type Table1Result struct {
-	Rows []Table1Row
+	Results []sweep.Result
+	Rows    []Table1Row
 	// NashParams is the difficulty used for the derived columns.
 	NashParams puzzle.Params
 }
 
 // Table1 profiles the Raspberry Pi fleet and derives each device's maximum
 // solved-connection rate at the Nash difficulty, one runner job per
-// device. workers bounds the pool (0 = GOMAXPROCS).
-func Table1(workers int) (*Table1Result, error) {
+// device. The scale supplies execution options only.
+func Table1(scale Scale) (*Table1Result, error) {
 	params := puzzle.Params{K: 2, M: 17, L: 32}
 	devices := cpumodel.IoTDevices()
 	solveHashes := params.ExpectedSolveHashes()
-	rows, err := runner.Map(workers, len(devices), func(i int) (Table1Row, error) {
-		dev := devices[i]
-		return Table1Row{
-			Device:          dev,
-			HashRate:        dev.HashRate,
-			HashesIn400ms:   dev.HashesIn(400 * time.Millisecond),
-			NashSolveTime:   dev.TimeFor(solveHashes),
-			MaxFloodRateCPS: dev.HashRate / solveHashes,
-		}, nil
-	})
+	results, err := runCells(scale, "tab1", "", Table1Grid().Expand(nil),
+		func(i int, _ Scenario) ([]sweep.Metric, []sweep.Series, error) {
+			dev := devices[i]
+			return []sweep.Metric{
+				{Name: "hash_rate", Value: dev.HashRate},
+				{Name: "hashes_in_400ms", Value: dev.HashesIn(400 * time.Millisecond)},
+				{Name: "nash_solve_time_ms", Value: float64(dev.TimeFor(solveHashes)) / float64(time.Millisecond)},
+				{Name: "max_flood_cps", Value: dev.HashRate / solveHashes},
+			}, nil, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	return &Table1Result{NashParams: params, Rows: rows}, nil
+	res := &Table1Result{Results: results, NashParams: params}
+	for i, r := range results {
+		res.Rows = append(res.Rows, Table1Row{
+			Device:          devices[i],
+			HashRate:        r.Metric("hash_rate"),
+			HashesIn400ms:   r.Metric("hashes_in_400ms"),
+			NashSolveTime:   time.Duration(r.Metric("nash_solve_time_ms") * float64(time.Millisecond)),
+			MaxFloodRateCPS: r.Metric("max_flood_cps"),
+		})
+	}
+	return res, nil
 }
 
 // Table renders the device study.

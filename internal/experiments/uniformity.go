@@ -7,7 +7,34 @@ import (
 	"github.com/tcppuzzles/tcppuzzles/internal/stats"
 	"github.com/tcppuzzles/tcppuzzles/membound"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
+
+// uniformityHashParams is the Nash difficulty the memory-bound scheme is
+// compared against.
+var uniformityHashParams = puzzle.Params{K: 2, M: 17, L: 32}
+
+// uniformityMemParams charges the Nash-equivalent expected work as
+// dependent memory accesses: 2^12 trials × 64 lookups = 262144 accesses,
+// numerically equal to the hash scheme's k·2^m = 262144 operations.
+var uniformityMemParams = membound.Params{M: 12, Walk: 64}
+
+// uniformityDevices is the full device mix the paper profiles: three
+// client Xeons plus the four Raspberry Pis.
+func uniformityDevices() []cpumodel.Device {
+	return append(append([]cpumodel.Device{}, cpumodel.ClientCPUs()...),
+		cpumodel.IoTDevices()...)
+}
+
+// AblationMemoryBoundGrid declares one cell per profiled device.
+func AblationMemoryBoundGrid() sweep.Grid {
+	devices := uniformityDevices()
+	points := make([]sweep.Point, len(devices))
+	for i, dev := range devices {
+		points[i] = sweep.Point{Label: dev.Name}
+	}
+	return sweep.Grid{Axes: []sweep.Axis{sweep.Variants("device", points...)}}
+}
 
 // UniformityRow compares one device's solve times under the two schemes.
 type UniformityRow struct {
@@ -20,6 +47,7 @@ type UniformityRow struct {
 // puzzles versus memory-bound puzzles across the full device mix, with the
 // coefficient of variation of solve times as the fairness metric.
 type UniformityResult struct {
+	Results    []sweep.Result
 	HashParams puzzle.Params
 	MemParams  membound.Params
 	Rows       []UniformityRow
@@ -29,29 +57,42 @@ type UniformityResult struct {
 	MemCV  float64
 }
 
+// uniformityTimes returns one device's expected solve times under both
+// schemes. Expected costs: the geometric search does 2^m trials per
+// solution on average.
+func uniformityTimes(dev cpumodel.Device) (hash, mem time.Duration) {
+	hashOps := float64(uniformityHashParams.K) * float64(uint64(1)<<uniformityHashParams.M)
+	return dev.TimeFor(hashOps), dev.TimeForAccesses(uniformityMemParams.ExpectedAccesses())
+}
+
 // AblationMemoryBound evaluates the memory-bound alternative of §7: the
 // Nash-equivalent expected work is charged once as SHA-256 operations and
 // once as dependent memory accesses, for every device class the paper
-// profiles (three client Xeons plus the four Raspberry Pis).
-func AblationMemoryBound() *UniformityResult {
-	hashParams := puzzle.Params{K: 2, M: 17, L: 32}
-	// Expected accesses chosen so the *fleet-average* wall-clock cost
-	// matches the hash scheme: 2^12 trials × 64 lookups = 262144 accesses,
-	// numerically equal to the hash scheme's k·2^m = 262144 operations.
-	memParams := membound.Params{M: 12, Walk: 64}
-
-	devices := append(append([]cpumodel.Device{}, cpumodel.ClientCPUs()...),
-		cpumodel.IoTDevices()...)
-	res := &UniformityResult{HashParams: hashParams, MemParams: memParams}
+// profiles. The scale supplies execution options only.
+func AblationMemoryBound(scale Scale) (*UniformityResult, error) {
+	devices := uniformityDevices()
+	results, err := runCells(scale, "ablation-membound", "", AblationMemoryBoundGrid().Expand(nil),
+		func(i int, _ Scenario) ([]sweep.Metric, []sweep.Series, error) {
+			hashT, memT := uniformityTimes(devices[i])
+			return []sweep.Metric{
+				{Name: "hash_solve_ms", Value: float64(hashT) / float64(time.Millisecond)},
+				{Name: "mem_solve_ms", Value: float64(memT) / float64(time.Millisecond)},
+			}, nil, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &UniformityResult{
+		Results:    results,
+		HashParams: uniformityHashParams,
+		MemParams:  uniformityMemParams,
+	}
 	var hashTimes, memTimes []float64
-	for _, dev := range devices {
-		// Expected costs: the geometric search does 2^m trials per
-		// solution on average.
-		hashOps := float64(hashParams.K) * float64(uint64(1)<<hashParams.M)
+	for i, r := range results {
 		row := UniformityRow{
-			Device:        dev,
-			HashSolveTime: dev.TimeFor(hashOps),
-			MemSolveTime:  dev.TimeForAccesses(memParams.ExpectedAccesses()),
+			Device:        devices[i],
+			HashSolveTime: time.Duration(r.Metric("hash_solve_ms") * float64(time.Millisecond)),
+			MemSolveTime:  time.Duration(r.Metric("mem_solve_ms") * float64(time.Millisecond)),
 		}
 		res.Rows = append(res.Rows, row)
 		hashTimes = append(hashTimes, row.HashSolveTime.Seconds())
@@ -65,7 +106,7 @@ func AblationMemoryBound() *UniformityResult {
 	if mm > 0 {
 		res.MemCV = ms / mm
 	}
-	return res
+	return res, nil
 }
 
 // Table renders the uniformity study.

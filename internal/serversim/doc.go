@@ -1,0 +1,20 @@
+// Package serversim models the protected server of the paper's testbed
+// inside the deterministic discrete-event engine (internal/netsim).
+//
+// A Server terminates simulated TCP handshakes under one of four
+// Protection modes — none, SYN cookies, a SYN cache, or client puzzles —
+// and serves application requests through a bounded worker pool fed by
+// listen and accept queues, the two resources the paper's floods exhaust.
+// Puzzle protection is opportunistic by default (challenges engage only
+// when queue pressure indicates an attack, §5) and can adapt its
+// difficulty with the closed-loop controller of §7. Crypto costs are
+// charged to a modelled CPU (internal/cpumodel) rather than computed, so
+// a 600-second deployment simulates in seconds while preserving the
+// paper's load structure.
+//
+// Every rate, queue occupancy, CPU share, and counter is recorded in
+// Metrics as per-bucket series; the figure drivers in
+// internal/experiments turn those series into the paper's plots. All
+// randomness derives from Config.Seed, keeping runs bit-for-bit
+// reproducible at any runner parallelism.
+package serversim

@@ -1,13 +1,16 @@
 // Package runner is the experiment execution subsystem: a work-stealing
 // goroutine pool that fans independent jobs out across the machine's cores.
 //
-// Every figure and table driver in this repository describes its scenarios
-// as data and submits them here, so a difficulty grid, a defense
-// comparison, or a botnet sweep runs as wide as the hardware allows.
-// Results are always returned in submission order, and a job's outcome
-// depends only on its own inputs (each simulated scenario carries its own
-// seed and builds its own RNG), so output is bit-for-bit identical at any
-// worker count — parallelism changes wall-clock time, never results.
+// Every figure and table driver in this repository declares its scenarios
+// as data (a sweep.Grid) and submits the expanded cells here, so a
+// difficulty grid, a defense comparison, or a botnet sweep runs as wide
+// as the hardware allows. Results are always returned in submission
+// order, and a job's outcome depends only on its own inputs (each
+// simulated scenario carries its own seed and builds its own RNG), so
+// output is bit-for-bit identical at any worker count — parallelism
+// changes wall-clock time, never results. The streaming sinks one layer
+// up (sweep.Stream) preserve that guarantee on the serialization path by
+// re-ordering completions back to submission order.
 package runner
 
 import (

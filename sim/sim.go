@@ -3,12 +3,15 @@
 // floods) against a server protected by client puzzles, SYN cookies, a SYN
 // cache, or nothing, and returns materialised measurement series.
 //
-// Scenario is the one canonical configuration type shared with the
-// internal experiment drivers, and grids of scenarios fan out across the
-// work-stealing pool in sim/runner (see RunAll). It also exposes the
-// paper's evaluation as named experiments (see Experiments and
-// RunExperiment) so a downstream user can regenerate every figure and
-// table from §6 with one call.
+// Scenario is the one canonical configuration type (defined in the sweep
+// package) shared with the internal experiment drivers, and grids of
+// scenarios fan out across the work-stealing pool in sim/runner (see
+// RunAll). The paper's evaluation is exposed as named experiments (see
+// ExperimentIDs and RunExperiment) so a downstream user can regenerate
+// every figure and table from §6 with one call, and RunSweep executes
+// arbitrary factorial designs declared as sweep.Grid literals — with
+// streaming CSV/NDJSON sinks (WithSinks) and scenario-hash result
+// caching (WithCache).
 package sim
 
 import (

@@ -153,6 +153,9 @@ func TestRunRejectsUnknownConfig(t *testing.T) {
 }
 
 func TestExperimentIDsComplete(t *testing.T) {
+	// IDs come from the registry in display order; every listed id must
+	// run and every runnable id must be listed (both derive from the one
+	// registry, so this is a change-detector for the display order only).
 	ids := ExperimentIDs()
 	want := []string{
 		"fig3a", "fig3b", "fig6", "fig7", "fig8", "fig9", "fig10",
@@ -160,17 +163,13 @@ func TestExperimentIDsComplete(t *testing.T) {
 		"ablation-opportunistic", "ablation-solutionflood",
 		"ablation-membound", "ablation-adaptive",
 	}
-	have := make(map[string]bool, len(ids))
-	for _, id := range ids {
-		have[id] = true
-	}
-	for _, id := range want {
-		if !have[id] {
-			t.Errorf("missing experiment %q", id)
-		}
-	}
 	if len(ids) != len(want) {
-		t.Errorf("got %d experiments, want %d: %v", len(ids), len(want), ids)
+		t.Fatalf("got %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("ids[%d] = %q, want %q", i, ids[i], id)
+		}
 	}
 }
 

@@ -1,0 +1,119 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// hashVersion feeds the cache key so a deliberate format break (changed
+// metric semantics, changed Scenario canonicalisation) can invalidate
+// every existing entry at once.
+const hashVersion = "tcppuzzles-sweep-v1"
+
+// Hash returns the content address of one experiment cell: a SHA-256 over
+// the hash format version, the experiment name, and the canonical
+// (post-Defaults) Scenario serialised as JSON. Every Scenario field —
+// including Label — feeds the hash, so two cells collide only when they
+// would simulate identically and report identically. Adding a field to
+// Scenario changes every hash, which safely turns old cache entries into
+// misses (wipe the cache directory to reclaim the space).
+func Hash(experiment string, sc Scenario) string {
+	canonical, err := json.Marshal(sc.Defaults())
+	if err != nil {
+		// Marshal fails only on non-finite floats (NaN/Inf rates). Fall
+		// back to the fmt representation, which formats those fine and
+		// still distinguishes scenarios, so no two cells share a key.
+		canonical = []byte(fmt.Sprintf("%#v", sc.Defaults()))
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n", hashVersion, experiment)
+	h.Write(canonical)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache is a disk-backed, content-addressed store of completed cell
+// results, keyed by Hash. Entries hold the metrics and series of one cell
+// as JSON, one file per cell, so concurrent writers never contend and a
+// cache directory can be shared between figure regenerations: any cell
+// whose canonical scenario already ran is skipped entirely.
+type Cache struct {
+	dir          string
+	hits, misses atomic.Int64
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// entry is the stored payload of one cell.
+type entry struct {
+	Metrics []Metric `json:"metrics"`
+	Series  []Series `json:"series,omitempty"`
+}
+
+func (c *Cache) path(experiment string, sc Scenario) string {
+	return filepath.Join(c.dir, experiment+"-"+Hash(experiment, sc)+".json")
+}
+
+// Get returns the stored metrics and series for the cell, if present.
+// Unreadable or corrupt entries count as misses.
+func (c *Cache) Get(experiment string, sc Scenario) ([]Metric, []Series, bool) {
+	data, err := os.ReadFile(c.path(experiment, sc))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		c.misses.Add(1)
+		return nil, nil, false
+	}
+	c.hits.Add(1)
+	return e.Metrics, e.Series, true
+}
+
+// Put stores the cell's metrics and series. The write is atomic (temp
+// file + rename) so concurrent readers never observe a partial entry.
+func (c *Cache) Put(experiment string, sc Scenario, metrics []Metric, series []Series) error {
+	data, err := json.Marshal(entry{Metrics: metrics, Series: series})
+	if err != nil {
+		return fmt.Errorf("sweep: cache: %w", err)
+	}
+	path := c.path(experiment, sc)
+	tmp, err := os.CreateTemp(c.dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("sweep: cache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: cache: %w", err)
+	}
+	return nil
+}
+
+// Hits returns how many Gets found a stored entry.
+func (c *Cache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns how many Gets found nothing (or a corrupt entry).
+func (c *Cache) Misses() int64 { return c.misses.Load() }

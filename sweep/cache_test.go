@@ -1,0 +1,100 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Label: "cell", Seed: 9}
+	metrics := []Metric{{Name: "mbps", Value: 1.5}}
+	series := []Series{{Name: "trace", Values: []float64{1, 2, 3}}}
+
+	if _, _, ok := cache.Get("fig9", sc); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	if err := cache.Put("fig9", sc, metrics, series); err != nil {
+		t.Fatal(err)
+	}
+	m, s, ok := cache.Get("fig9", sc)
+	if !ok {
+		t.Fatal("stored entry not found")
+	}
+	if len(m) != 1 || m[0] != metrics[0] {
+		t.Errorf("metrics = %+v, want %+v", m, metrics)
+	}
+	if len(s) != 1 || s[0].Name != "trace" || len(s[0].Values) != 3 {
+		t.Errorf("series = %+v", s)
+	}
+	if cache.Hits() != 1 || cache.Misses() != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", cache.Hits(), cache.Misses())
+	}
+}
+
+func TestCacheKeysDiscriminate(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Label: "cell"}
+	if err := cache.Put("fig9", sc, []Metric{{Name: "a", Value: 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Same scenario under a different experiment: distinct entry.
+	if _, _, ok := cache.Get("fig10", sc); ok {
+		t.Error("experiment name not part of the key")
+	}
+	// Different label: distinct entry (labels appear in output).
+	other := sc
+	other.Label = "other"
+	if _, _, ok := cache.Get("fig9", other); ok {
+		t.Error("label not part of the key")
+	}
+	// A semantically equal scenario spelled differently pre-Defaults
+	// hashes the same: the canonical form feeds the key.
+	spelled := Scenario{Label: "cell", Seed: 1}
+	if _, _, ok := cache.Get("fig9", spelled); !ok {
+		t.Error("canonicalisation not applied before hashing")
+	}
+}
+
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{Label: "cell"}
+	if err := cache.Put("fig9", sc, []Metric{{Name: "a", Value: 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("entries = %v, err = %v", entries, err)
+	}
+	if err := os.WriteFile(entries[0], []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := cache.Get("fig9", sc); ok {
+		t.Error("corrupt entry returned as hit")
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	a := Hash("fig9", Scenario{Label: "x"})
+	b := Hash("fig9", Scenario{Label: "x"})
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	if Hash("fig9", Scenario{Label: "x", Seed: 2}) == a {
+		t.Error("seed does not feed the hash")
+	}
+	if len(a) != 64 {
+		t.Errorf("hash length = %d, want 64 hex chars", len(a))
+	}
+}

@@ -1,0 +1,193 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Grid declares a factorial experiment design as a literal: a base
+// Scenario plus product Axes. Expand crosses the axes in declaration
+// order, so a Grid replaces the hand-rolled nested loops the figure
+// drivers used to carry.
+type Grid struct {
+	// Base is the scenario every cell starts from. Its Label, if any,
+	// prefixes every cell label.
+	Base Scenario
+	// Axes are the swept dimensions, applied left to right. A cell's
+	// label is the base label joined with each axis point's label by "/".
+	Axes []Axis
+}
+
+// Axis is one swept dimension of a Grid.
+type Axis struct {
+	// Name identifies the dimension (documentation and error messages).
+	Name string
+	// Points are the values the dimension takes.
+	Points []Point
+}
+
+// Point is one value of an Axis: a label for result output plus a
+// mutation applied to the cell's scenario. A nil Set labels the cell
+// without changing it (useful when the driver interprets the coordinate
+// itself).
+type Point struct {
+	Label string
+	Set   func(*Scenario)
+}
+
+// Ks sweeps the puzzle difficulty k (solutions required).
+func Ks(vals ...uint8) Axis {
+	ax := Axis{Name: "k"}
+	for _, v := range vals {
+		v := v
+		ax.Points = append(ax.Points, Point{
+			Label: fmt.Sprintf("k=%d", v),
+			Set:   func(sc *Scenario) { sc.Params.K = v },
+		})
+	}
+	return ax
+}
+
+// Ms sweeps the puzzle difficulty m (bits per solution).
+func Ms(vals ...uint8) Axis {
+	ax := Axis{Name: "m"}
+	for _, v := range vals {
+		v := v
+		ax.Points = append(ax.Points, Point{
+			Label: fmt.Sprintf("m=%d", v),
+			Set:   func(sc *Scenario) { sc.Params.M = v },
+		})
+	}
+	return ax
+}
+
+// Defenses sweeps the server protection.
+func Defenses(vals ...Defense) Axis {
+	ax := Axis{Name: "defense"}
+	for _, v := range vals {
+		v := v
+		ax.Points = append(ax.Points, Point{
+			Label: fmt.Sprintf("defense=%s", v),
+			Set:   func(sc *Scenario) { sc.Defense = v },
+		})
+	}
+	return ax
+}
+
+// Attacks sweeps the botnet behaviour.
+func Attacks(vals ...Attack) Axis {
+	ax := Axis{Name: "attack"}
+	for _, v := range vals {
+		v := v
+		ax.Points = append(ax.Points, Point{
+			Label: fmt.Sprintf("attack=%s", v),
+			Set:   func(sc *Scenario) { sc.Attack = v },
+		})
+	}
+	return ax
+}
+
+// BotCounts sweeps the botnet size.
+func BotCounts(vals ...int) Axis {
+	ax := Axis{Name: "bots"}
+	for _, v := range vals {
+		v := v
+		ax.Points = append(ax.Points, Point{
+			Label: fmt.Sprintf("bots=%d", v),
+			Set:   func(sc *Scenario) { sc.BotCount = v },
+		})
+	}
+	return ax
+}
+
+// PerBotRates sweeps the per-bot attack rate (packets/second).
+func PerBotRates(vals ...float64) Axis {
+	ax := Axis{Name: "rate"}
+	for _, v := range vals {
+		v := v
+		ax.Points = append(ax.Points, Point{
+			Label: fmt.Sprintf("rate=%g", v),
+			Set:   func(sc *Scenario) { sc.PerBotRate = v },
+		})
+	}
+	return ax
+}
+
+// Seeds sweeps the scenario seed, for replicated designs.
+func Seeds(vals ...int64) Axis {
+	ax := Axis{Name: "seed"}
+	for _, v := range vals {
+		v := v
+		ax.Points = append(ax.Points, Point{
+			Label: fmt.Sprintf("seed=%d", v),
+			Set:   func(sc *Scenario) { sc.Seed = v },
+		})
+	}
+	return ax
+}
+
+// Variants is a free-form axis for dimensions that change several fields
+// at once (a defense mode paired with its difficulty, an adoption mix).
+func Variants(name string, points ...Point) Axis {
+	return Axis{Name: name, Points: points}
+}
+
+// Expand produces the grid's deduplicated cell list in deterministic
+// row-major order (the last declared axis varies fastest). When scale is
+// non-nil it rescales the base deployment before the axes apply, so axis
+// coordinates always win over the scale's load shape. Cells whose
+// canonical (post-Defaults) scenarios — labels included — coincide are
+// emitted once, keeping replicated axis points from re-running identical
+// simulations.
+func (g Grid) Expand(scale *Scale) []Scenario {
+	base := g.Base
+	if scale != nil {
+		base = scale.Apply(base)
+	}
+	cells := []Scenario{base}
+	for _, ax := range g.Axes {
+		if len(ax.Points) == 0 {
+			continue
+		}
+		next := make([]Scenario, 0, len(cells)*len(ax.Points))
+		for _, cell := range cells {
+			for _, pt := range ax.Points {
+				c := cell
+				if pt.Set != nil {
+					pt.Set(&c)
+				}
+				c.Label = joinLabel(cell.Label, pt.Label)
+				next = append(next, c)
+			}
+		}
+		cells = next
+	}
+	seen := make(map[string]bool, len(cells))
+	out := cells[:0]
+	for _, c := range cells {
+		key, err := json.Marshal(c.Defaults())
+		if err != nil {
+			// Scenario is a plain struct; Marshal cannot fail. Keep the
+			// cell rather than silently dropping it if that ever changes.
+			out = append(out, c)
+			continue
+		}
+		if seen[string(key)] {
+			continue
+		}
+		seen[string(key)] = true
+		out = append(out, c)
+	}
+	return out
+}
+
+func joinLabel(base, part string) string {
+	switch {
+	case part == "":
+		return base
+	case base == "":
+		return part
+	default:
+		return base + "/" + part
+	}
+}

@@ -1,0 +1,184 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// Sink receives completed cell Results as they stream off the runner.
+// Implementations need not be safe for concurrent use: Stream serialises
+// writes and guarantees grid order, so sink output is byte-identical at
+// every worker count.
+type Sink interface {
+	Write(Result) error
+	// Flush forces buffered output to the underlying writer. Owners of
+	// the sink call it once after the last Write.
+	Flush() error
+}
+
+// csvHeader is the long-format column set: one row per scalar metric,
+// with the swept scenario coordinates alongside so output loads directly
+// into plotting tools. Series are omitted — use NDJSON for full traces.
+var csvHeader = []string{
+	"experiment", "label", "defense", "attack", "k", "m",
+	"clients", "bot_count", "per_bot_rate", "seed", "metric", "value",
+}
+
+// CSVSink streams Results as long-format CSV rows.
+type CSVSink struct {
+	w      *csv.Writer
+	header bool
+}
+
+// NewCSV returns a sink writing long-format CSV to w. The header row is
+// written before the first record.
+func NewCSV(w io.Writer) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w)}
+}
+
+// Write emits one row per scalar metric of the result and flushes, so
+// rows are visible as cells complete.
+func (s *CSVSink) Write(r Result) error {
+	if !s.header {
+		if err := s.w.Write(csvHeader); err != nil {
+			return err
+		}
+		s.header = true
+	}
+	sc := r.Scenario
+	prefix := []string{
+		r.Experiment, sc.Label, string(sc.Defense), string(sc.Attack),
+		strconv.Itoa(int(sc.Params.K)), strconv.Itoa(int(sc.Params.M)),
+		strconv.Itoa(sc.NumClients), strconv.Itoa(sc.BotCount),
+		formatFloat(sc.PerBotRate), strconv.FormatInt(sc.Seed, 10),
+	}
+	for _, m := range r.Metrics {
+		row := append(append([]string{}, prefix...), m.Name, formatFloat(m.Value))
+		if err := s.w.Write(row); err != nil {
+			return err
+		}
+	}
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// Flush flushes buffered rows.
+func (s *CSVSink) Flush() error {
+	s.w.Flush()
+	return s.w.Error()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// NDJSONSink streams Results as newline-delimited JSON, one complete
+// object — canonical scenario, metrics, and series — per cell.
+type NDJSONSink struct {
+	enc *json.Encoder
+}
+
+// NewNDJSON returns a sink writing one JSON object per Result to w.
+func NewNDJSON(w io.Writer) *NDJSONSink {
+	return &NDJSONSink{enc: json.NewEncoder(w)}
+}
+
+// Write encodes the result followed by a newline.
+func (s *NDJSONSink) Write(r Result) error { return s.enc.Encode(r) }
+
+// Flush is a no-op: every Write reaches the underlying writer directly.
+func (s *NDJSONSink) Flush() error { return nil }
+
+// TableSink buffers Results and renders one aligned long-format table per
+// experiment on Flush — the pretty-printer as a Sink. The figure drivers
+// keep their richer bespoke tables; this view covers ad-hoc sweeps.
+type TableSink struct {
+	w      io.Writer
+	order  []string
+	groups map[string][][]string
+}
+
+// NewTable returns a sink rendering aligned tables to w on Flush.
+func NewTable(w io.Writer) *TableSink {
+	return &TableSink{w: w, groups: map[string][][]string{}}
+}
+
+// Write buffers the result's scalar metrics.
+func (s *TableSink) Write(r Result) error {
+	if _, ok := s.groups[r.Experiment]; !ok {
+		s.order = append(s.order, r.Experiment)
+	}
+	for _, m := range r.Metrics {
+		s.groups[r.Experiment] = append(s.groups[r.Experiment],
+			[]string{r.Scenario.Label, m.Name, formatFloat(m.Value)})
+	}
+	return nil
+}
+
+// Flush renders the buffered tables and clears the buffer.
+func (s *TableSink) Flush() error {
+	for _, exp := range s.order {
+		t := Table{
+			Title:  exp,
+			Header: []string{"label", "metric", "value"},
+			Rows:   s.groups[exp],
+		}
+		if _, err := io.WriteString(s.w, t.String()+"\n"); err != nil {
+			return err
+		}
+	}
+	s.order = nil
+	s.groups = map[string][][]string{}
+	return nil
+}
+
+// Stream fans concurrently-completing Results into a set of sinks in grid
+// order: Emit accepts results in any order and releases them to the sinks
+// only once every earlier-indexed cell has been released. This is what
+// lets sink output stream as runs land while staying byte-identical at
+// every runner worker count.
+type Stream struct {
+	mu      sync.Mutex
+	sinks   []Sink
+	next    int
+	pending map[int]Result
+	err     error
+}
+
+// NewStream returns a Stream over the given sinks. A Stream with no sinks
+// discards everything at near-zero cost.
+func NewStream(sinks ...Sink) *Stream {
+	return &Stream{sinks: sinks, pending: map[int]Result{}}
+}
+
+// Emit hands cell index's result to the stream. Safe for concurrent use.
+// The first sink error is returned (and re-returned by later Emits), so a
+// failing sink aborts the grid instead of silently truncating output.
+func (s *Stream) Emit(index int, r Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if len(s.sinks) == 0 {
+		return nil
+	}
+	s.pending[index] = r
+	for {
+		ready, ok := s.pending[s.next]
+		if !ok {
+			return nil
+		}
+		delete(s.pending, s.next)
+		s.next++
+		for _, sink := range s.sinks {
+			if err := sink.Write(ready); err != nil {
+				s.err = err
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package sweep
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// goldenResults is a fixed result set covering both metric-only and
+// series-carrying cells. Purely synthetic: golden files stay stable on
+// every platform.
+func goldenResults() []Result {
+	grid := Grid{
+		Base: Scenario{Label: "demo", Duration: 30 * time.Second, Seed: 7},
+		Axes: []Axis{Defenses(DefenseCookies, DefensePuzzles), Ks(1, 2)},
+	}
+	cells := grid.Expand(nil)
+	out := make([]Result, len(cells))
+	for i, sc := range cells {
+		out[i] = Result{
+			Experiment: "golden",
+			Scenario:   sc.Defaults(),
+			Metrics: []Metric{
+				{Name: "mbps_during", Value: float64(i) + 0.25},
+				{Name: "attack_cps", Value: 100.5 * float64(i+1)},
+			},
+		}
+		if i == 0 {
+			out[i].Series = []Series{{Name: "mbps", Values: []float64{0, 1.5, 2.25}}}
+		}
+	}
+	return out
+}
+
+// checkGolden compares got against testdata/name, rewriting the file when
+// the GOLDEN_UPDATE environment variable is set.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with GOLDEN_UPDATE=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s output differs from golden file:\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestCSVSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewCSV(&buf)
+	for _, r := range goldenResults() {
+		if err := sink.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden.csv", buf.Bytes())
+}
+
+func TestNDJSONSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewNDJSON(&buf)
+	for _, r := range goldenResults() {
+		if err := sink.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden.ndjson", buf.Bytes())
+}
+
+func TestTableSinkRenders(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewTable(&buf)
+	for _, r := range goldenResults() {
+		if err := sink.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== golden ==") {
+		t.Errorf("missing experiment title:\n%s", out)
+	}
+	if !strings.Contains(out, "mbps_during") || !strings.Contains(out, "demo/defense=puzzles/k=2") {
+		t.Errorf("missing rows:\n%s", out)
+	}
+	// Flush clears the buffer; a second Flush emits nothing.
+	buf.Reset()
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("second Flush re-emitted: %q", buf.String())
+	}
+}
+
+// Stream must deliver results to sinks in index order no matter the
+// completion order — the serialization half of the repo's determinism
+// guarantee.
+func TestStreamReordersToGridOrder(t *testing.T) {
+	results := goldenResults()
+	var want bytes.Buffer
+	wantSink := NewCSV(&want)
+	for _, r := range results {
+		if err := wantSink.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		var got bytes.Buffer
+		stream := NewStream(NewCSV(&got))
+		for _, i := range rng.Perm(len(results)) {
+			if err := stream.Emit(i, results[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got.String() != want.String() {
+			t.Fatalf("trial %d: out-of-order emission changed output:\n%s", trial, got.String())
+		}
+	}
+}
+
+type failingSink struct{ n int }
+
+func (f *failingSink) Write(Result) error {
+	f.n++
+	if f.n > 1 {
+		return os.ErrClosed
+	}
+	return nil
+}
+func (f *failingSink) Flush() error { return nil }
+
+func TestStreamPropagatesSinkError(t *testing.T) {
+	results := goldenResults()
+	stream := NewStream(&failingSink{})
+	if err := stream.Emit(0, results[0]); err != nil {
+		t.Fatalf("first write failed: %v", err)
+	}
+	if err := stream.Emit(1, results[1]); err == nil {
+		t.Fatal("sink error swallowed")
+	}
+	// The error is sticky.
+	if err := stream.Emit(2, results[2]); err == nil {
+		t.Fatal("stream forgot the sink error")
+	}
+}
