@@ -15,6 +15,7 @@ package tcppuzzles_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -76,6 +77,56 @@ func BenchmarkRunnerParallel(b *testing.B) {
 				if len(results) != len(grid) {
 					b.Fatalf("got %d results, want %d", len(results), len(grid))
 				}
+			}
+		})
+	}
+}
+
+// shardedFloodScenario is the large deployment behind
+// BenchmarkShardedFlood: a response-heavy connection flood whose event
+// count is dominated by per-client traffic, so node partitioning has real
+// parallel work to win. Big enough that the lock-step window barriers
+// (every ~4 ms of simulated time) amortise; small enough to iterate.
+func shardedFloodScenario() sim.Scenario {
+	return sim.Scenario{
+		Label:    "sharded-flood",
+		Duration: 30 * time.Second, AttackStart: 5 * time.Second, AttackStop: 25 * time.Second,
+		NumClients: 24, ClientRate: 20, BotCount: 12, PerBotRate: 200,
+		Backlog: 512, AcceptBacklog: 512, Workers: 64, Seed: 42,
+		ClientsSolve: true, BotsSolve: true,
+	}
+}
+
+// shardCounts sweeps 1 → GOMAXPROCS in powers of two (always including at
+// least 1, 2 and 4 so the curve is comparable across machines).
+func shardCounts() []int {
+	max := runtime.GOMAXPROCS(0)
+	counts := []int{1, 2, 4}
+	for n := 8; n <= max; n *= 2 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkShardedFlood measures how the sharded event engine scales one
+// large flood across cores (the complement of BenchmarkRunnerParallel,
+// which scales *across* independent scenarios). Results are byte-identical
+// at every shard count (TestShardDeterminismMatrix); shards only divide
+// wall-clock time. As with the runner bench, the observable speedup is
+// capped by the cores the container actually grants — a single-core
+// machine shows ~1x minus barrier overhead. The measured curve for this
+// repository's reference container is recorded in BENCH_shards.json.
+func BenchmarkShardedFlood(b *testing.B) {
+	for _, shards := range shardCounts() {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sc := shardedFloodScenario()
+			sc.Shards = shards
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.EffectiveAttackRate, "attacker-cps")
 			}
 		})
 	}

@@ -41,9 +41,11 @@ func run(args []string) error {
 	exp := fs.String("exp", "all", "experiment id (see -list) or 'all'")
 	scale := fs.String("scale", "quick", "experiment scale: tiny, quick or paper")
 	workers := fs.Int("workers", 0, "runner pool width (0 = all cores, 1 = serial)")
+	shards := fs.Int("shards", 0, "event-engine shards per scenario (0 or 1 = single shard, -1 = one per core); results are identical at every value")
 	format := fs.String("format", "table", "output format: table, csv or json (NDJSON)")
 	out := fs.String("out", "", "write experiment output to this file (default stdout)")
 	cacheDir := fs.String("cache-dir", "", "cache completed cells here; repeated runs skip identical scenarios")
+	cacheMax := fs.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this total size (0 = unlimited)")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,11 +55,11 @@ func run(args []string) error {
 		return nil
 	}
 
-	opts := []sim.RunOption{sim.WithWorkers(*workers)}
+	opts := []sim.RunOption{sim.WithWorkers(*workers), sim.WithShards(*shards)}
 	var cache *sweep.Cache
 	if *cacheDir != "" {
 		var err error
-		if cache, err = sweep.OpenCache(*cacheDir); err != nil {
+		if cache, err = sweep.OpenCache(*cacheDir, sweep.WithMaxBytes(*cacheMax)); err != nil {
 			return err
 		}
 		opts = append(opts, sim.WithCache(cache))
@@ -114,8 +116,8 @@ func run(args []string) error {
 		}
 	}
 	if cache != nil {
-		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses (dir %s)\n",
-			cache.Hits(), cache.Misses(), cache.Dir())
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses, %d evictions (dir %s)\n",
+			cache.Hits(), cache.Misses(), cache.Evictions(), cache.Dir())
 	}
 	return nil
 }

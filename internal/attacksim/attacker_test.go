@@ -55,7 +55,7 @@ func TestSYNFloodFillsListenQueue(t *testing.T) {
 		t.Error("no SYN drops under flood")
 	}
 	// SYN-ACKs to spoofed sources must be unroutable.
-	if w.net.Unroutable == 0 {
+	if w.net.Unroutable() == 0 {
 		t.Error("no unroutable replies — spoofing not exercised")
 	}
 }
@@ -175,7 +175,7 @@ func TestSolutionFloodBurnsBoundedServerWork(t *testing.T) {
 
 func TestBotnetConstruction(t *testing.T) {
 	w := newWorld(t, serversim.Config{Protection: serversim.ProtectionNone})
-	bn, err := NewBotnet(w.eng, w.net, BotnetConfig{
+	bn, err := NewBotnet(w.net, BotnetConfig{
 		Size:       10,
 		BaseAddr:   [4]byte{10, 0, 3, 1},
 		ServerAddr: w.server.Addr(),
@@ -203,7 +203,7 @@ func TestBotnetConstruction(t *testing.T) {
 	if len(rates) == 0 {
 		t.Fatal("no rate series")
 	}
-	if err := func() error { _, e := NewBotnet(w.eng, w.net, BotnetConfig{Size: 0}); return e }(); err == nil {
+	if err := func() error { _, e := NewBotnet(w.net, BotnetConfig{Size: 0}); return e }(); err == nil {
 		t.Error("NewBotnet(0) succeeded")
 	}
 }
@@ -217,7 +217,7 @@ func TestBotnetMeanCPU(t *testing.T) {
 		SimulatedCrypto: true,
 		Workers:         -1,
 	})
-	bn, err := NewBotnet(w.eng, w.net, BotnetConfig{
+	bn, err := NewBotnet(w.net, BotnetConfig{
 		Size: 3, BaseAddr: [4]byte{10, 0, 4, 1},
 		ServerAddr: w.server.Addr(),
 		Kind:       ConnFlood, PerBotRate: 100,

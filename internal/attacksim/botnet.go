@@ -45,8 +45,13 @@ type Botnet struct {
 	Bots []*Bot
 }
 
-// NewBotnet builds and attaches the fleet.
-func NewBotnet(eng *netsim.Engine, network *netsim.Network, cfg BotnetConfig) (*Botnet, error) {
+// NewBotnet builds and attaches the fleet. Each bot schedules against the
+// engine of its own home shard (netsim.Network.EngineFor), so a sharded
+// network spreads the fleet across cores; on a single-shard network every
+// bot lands on the one engine, as before. Per-bot seeds derive only from
+// cfg.Seed and the bot index — never from shard layout — so the fleet's
+// behaviour is identical at every shard count.
+func NewBotnet(network *netsim.Network, cfg BotnetConfig) (*Botnet, error) {
 	if cfg.Size <= 0 {
 		return nil, fmt.Errorf("attacksim: botnet size %d", cfg.Size)
 	}
@@ -63,7 +68,7 @@ func NewBotnet(eng *netsim.Engine, network *netsim.Network, cfg BotnetConfig) (*
 		addr := cfg.BaseAddr
 		addr[3] += byte(i % 200)
 		addr[2] += byte(i / 200)
-		bot, err := New(eng, network, link, Config{
+		bot, err := New(network.EngineFor(addr), network, link, Config{
 			Addr:            addr,
 			ServerAddr:      cfg.ServerAddr,
 			ServerPort:      cfg.ServerPort,

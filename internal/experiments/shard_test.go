@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/tcppuzzles/tcppuzzles/sweep"
+)
+
+// shardMatrixGrid is a mid-size flood grid mixing defenses and attacks so
+// the determinism matrix exercises spoofed SYN floods (unroutable
+// replies), solving connection floods (CPU-model feedback), and the full
+// server pipeline.
+func shardMatrixGrid() sweep.Grid {
+	return sweep.Grid{
+		Base: Scenario{ClientsSolve: true, BotsSolve: true},
+		Axes: []sweep.Axis{sweep.Variants("cell",
+			sweep.Point{Label: "puzzles-conn", Set: func(sc *Scenario) {
+				sc.Defense = DefensePuzzles
+				sc.Attack = AttackConnFlood
+			}},
+			sweep.Point{Label: "cookies-syn", Set: func(sc *Scenario) {
+				sc.Defense = DefenseCookies
+				sc.Attack = AttackSYNFlood
+			}},
+		)},
+	}
+}
+
+// runShardMatrixCell executes the grid at one (shards, workers)
+// combination and returns the streamed CSV and NDJSON sink bytes plus the
+// structured results.
+func runShardMatrixCell(t *testing.T, shards, workers int) ([]byte, []byte, []sweep.Result) {
+	t.Helper()
+	scale := tinyScale()
+	scale.Shards = shards
+	scale.Parallelism = workers
+	var csvBuf, jsonBuf bytes.Buffer
+	scale.Sinks = []sweep.Sink{sweep.NewCSV(&csvBuf), sweep.NewNDJSON(&jsonBuf)}
+	// Expand with the scale so the cells are tiny; RunSweep's grid-as-
+	// declared semantics would run the paper-scale defaults here.
+	cells := shardMatrixGrid().Expand(&scale)
+	results, _, err := runFloodCells(scale, "shardmatrix", "", cells, StandardMetrics)
+	if err != nil {
+		t.Fatalf("runFloodCells(shards=%d, workers=%d): %v", shards, workers, err)
+	}
+	return csvBuf.Bytes(), jsonBuf.Bytes(), results
+}
+
+// TestShardDeterminismMatrix is the PR's non-negotiable invariant one
+// layer up from netsim: a flood simulated at shards 1/2/4/8 × workers 1/4
+// produces byte-identical CSV and NDJSON sink output and equal structured
+// Results. It extends the cross-worker determinism tests of the runner
+// (TestSinkOutputIdenticalAcrossWorkers) one level deeper, into the event
+// engine itself.
+func TestShardDeterminismMatrix(t *testing.T) {
+	wantCSV, wantJSON, wantResults := runShardMatrixCell(t, 1, 1)
+	if len(wantResults) == 0 || len(wantCSV) == 0 || len(wantJSON) == 0 {
+		t.Fatal("baseline run produced no output")
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, workers := range []int{1, 4} {
+			if shards == 1 && workers == 1 {
+				continue
+			}
+			csvOut, jsonOut, results := runShardMatrixCell(t, shards, workers)
+			if !bytes.Equal(csvOut, wantCSV) {
+				t.Errorf("shards=%d workers=%d: CSV output differs from baseline\n got:\n%s\nwant:\n%s",
+					shards, workers, csvOut, wantCSV)
+			}
+			if !bytes.Equal(jsonOut, wantJSON) {
+				t.Errorf("shards=%d workers=%d: NDJSON output differs from baseline", shards, workers)
+			}
+			// Result structs carry the Shards knob itself; mask it before
+			// comparing the measurements.
+			for i := range results {
+				results[i].Scenario.Shards = wantResults[i].Scenario.Shards
+			}
+			if !reflect.DeepEqual(results, wantResults) {
+				t.Errorf("shards=%d workers=%d: Results differ from baseline", shards, workers)
+			}
+		}
+	}
+}
+
+// TestAutoShardsRuns exercises the AutoShards sentinel end to end: the
+// shard count is sized to the machine and the run must still match the
+// single-shard baseline.
+func TestAutoShardsRuns(t *testing.T) {
+	base := tinyScale().Apply(Scenario{Label: "auto", ClientsSolve: true, BotsSolve: true})
+	want, err := RunFlood(base)
+	if err != nil {
+		t.Fatalf("RunFlood: %v", err)
+	}
+	auto := base
+	auto.Shards = sweep.AutoShards
+	got, err := RunFlood(auto)
+	if err != nil {
+		t.Fatalf("RunFlood(auto): %v", err)
+	}
+	if !reflect.DeepEqual(got.ClientThroughputMbps(), want.ClientThroughputMbps()) {
+		t.Error("AutoShards client throughput differs from single-shard run")
+	}
+	if !reflect.DeepEqual(got.ServerThroughputMbps(), want.ServerThroughputMbps()) {
+		t.Error("AutoShards server throughput differs from single-shard run")
+	}
+}
+
+// TestShardsExcludedFromCacheHash pins the cache-key contract: shard
+// count never enters the scenario hash, so a cell computed sharded hits
+// for a rerun unsharded (and vice versa).
+func TestShardsExcludedFromCacheHash(t *testing.T) {
+	sc := Scenario{Label: "hash", Seed: 3}
+	plain := sweep.Hash("exp", sc)
+	sc.Shards = 8
+	if got := sweep.Hash("exp", sc); got != plain {
+		t.Errorf("Shards changed the cache hash: %s vs %s", got, plain)
+	}
+	sc.Shards = sweep.AutoShards
+	if got := sweep.Hash("exp", sc); got != plain {
+		t.Error("AutoShards changed the cache hash")
+	}
+	// Still sensitive to fields that do change results.
+	sc.Seed = 4
+	if got := sweep.Hash("exp", sc); got == plain {
+		t.Error("seed change did not change the cache hash")
+	}
+}

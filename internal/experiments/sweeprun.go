@@ -31,6 +31,12 @@ func runCells(scale Scale, experiment, cacheNS string, cells []Scenario,
 	canon := make([]Scenario, len(cells))
 	for i := range cells {
 		canon[i] = cells[i].Defaults()
+		// Shards is execution-only (byte-identical results at every
+		// count) and excluded from the cache hash, so applying it after
+		// canonicalisation is safe.
+		if scale.Shards != 0 {
+			canon[i].Shards = scale.Shards
+		}
 	}
 	results := make([]sweep.Result, len(cells))
 	stream := sweep.NewStream(scale.Sinks...)

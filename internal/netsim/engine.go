@@ -3,6 +3,13 @@
 // event engine, nodes addressed by IPv4 address, and access links with
 // bandwidth, propagation latency, and drop-tail queues. Packet taps play the
 // role of tcpdump.
+//
+// The engine can run as a single event heap or sharded: a Network built
+// with NewSharded partitions its nodes across several engines that execute
+// concurrently in conservative lock-step time windows (see Network.Run).
+// Results are byte-identical at every shard count because all cross-node
+// deliveries are ordered by a canonical, shard-count-independent key
+// rather than by scheduling order.
 package netsim
 
 import (
@@ -13,8 +20,16 @@ import (
 // Event is a scheduled callback. Cancel prevents a pending event from
 // firing.
 type Event struct {
-	at        time.Duration
-	seq       uint64
+	at  time.Duration
+	seq uint64
+	// arrival marks a packet-delivery event, ordered at equal times by the
+	// canonical (src, srcSeq) key instead of the engine-local seq. The key
+	// is a pure function of the sending node's history, so it does not
+	// depend on how nodes are partitioned into shards — the property that
+	// makes sharded runs byte-identical to single-shard runs.
+	arrival   bool
+	src       uint64
+	srcSeq    uint64
 	fn        func()
 	index     int
 	cancelled bool
@@ -35,10 +50,25 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	// Locally scheduled events fire before packet arrivals at the same
+	// instant; arrivals among themselves order by the canonical key. Both
+	// rules are independent of shard layout.
+	if a.arrival != b.arrival {
+		return !a.arrival
+	}
+	if a.arrival {
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		if a.srcSeq != b.srcSeq {
+			return a.srcSeq < b.srcSeq
+		}
+	}
+	return a.seq < b.seq
 }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
@@ -60,7 +90,8 @@ func (h *eventHeap) Pop() any {
 }
 
 // Engine is a single-threaded discrete-event clock. Time starts at zero;
-// events at equal times fire in scheduling order.
+// events at equal times fire in scheduling order (arrival events are the
+// exception — see ScheduleArrivalAt).
 type Engine struct {
 	now time.Duration
 	pq  eventHeap
@@ -93,6 +124,22 @@ func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Event {
 	return ev
 }
 
+// ScheduleArrivalAt queues a packet-arrival event. At equal times arrivals
+// fire after locally scheduled events and order among themselves by
+// (src, srcSeq) — a key derived from the sending node, not from this
+// engine's scheduling history, so the firing order is identical however
+// the simulation is sharded. The (src, srcSeq) pair must be unique per
+// pending arrival.
+func (e *Engine) ScheduleArrivalAt(at time.Duration, src, srcSeq uint64, fn func()) *Event {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{at: at, seq: e.seq, arrival: true, src: src, srcSeq: srcSeq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
 // Step fires the next pending event and reports whether one existed.
 func (e *Engine) Step() bool {
 	for len(e.pq) > 0 {
@@ -108,9 +155,15 @@ func (e *Engine) Step() bool {
 }
 
 // Run fires all events scheduled at or before until and then advances the
-// clock to until.
+// clock to until. The time check discards cancelled events first, so a
+// cancelled head never lets a later live event fire past the boundary —
+// the invariant the sharded window scheduler depends on.
 func (e *Engine) Run(until time.Duration) {
-	for len(e.pq) > 0 && e.pq[0].at <= until {
+	for {
+		at, ok := e.NextEventAt()
+		if !ok || at > until {
+			break
+		}
 		if !e.Step() {
 			break
 		}
@@ -118,6 +171,33 @@ func (e *Engine) Run(until time.Duration) {
 	if e.now < until {
 		e.now = until
 	}
+}
+
+// RunBefore fires all events strictly before end without advancing the
+// clock past the last fired event — one lock-step window of a sharded run.
+func (e *Engine) RunBefore(end time.Duration) {
+	for {
+		at, ok := e.NextEventAt()
+		if !ok || at >= end {
+			return
+		}
+		if !e.Step() {
+			return
+		}
+	}
+}
+
+// NextEventAt returns the time of the earliest live pending event.
+// Cancelled events at the head of the queue are discarded on the way.
+func (e *Engine) NextEventAt() (time.Duration, bool) {
+	for len(e.pq) > 0 {
+		if e.pq[0].cancelled {
+			heap.Pop(&e.pq)
+			continue
+		}
+		return e.pq[0].at, true
+	}
+	return 0, false
 }
 
 // Pending returns the number of queued (possibly cancelled) events.

@@ -2,6 +2,8 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
@@ -78,10 +80,36 @@ type LinkStats struct {
 	Dropped     uint64
 }
 
+// port is one attached node. All of its mutable state — uplink, downlink,
+// msgSeq — is touched only by the node's home shard: uplink and msgSeq
+// from the node's own sends, downlink from deliveries, which execute on
+// the destination's home shard.
 type port struct {
-	node Node
-	up   xmitter
-	down xmitter
+	node  Node
+	up    xmitter
+	down  xmitter
+	shard int
+	// msgSeq numbers this node's outgoing packets; together with the
+	// address it forms the canonical arrival-ordering key.
+	msgSeq uint64
+}
+
+// message is one packet in flight between shards: everything the
+// destination shard needs to run the downlink leg of the delivery.
+type message struct {
+	at   time.Duration // arrival at the destination downlink
+	src  uint64        // canonical origin key (address as integer)
+	seq  uint64        // origin's packet counter
+	size int
+	dst  *port
+	seg  tcpkit.Segment
+}
+
+// netShard is the per-shard execution state: an engine plus outboxes of
+// packets destined for other shards, exchanged at window barriers.
+type netShard struct {
+	eng    *Engine
+	outbox [][]message // indexed by destination shard
 }
 
 // TapDir distinguishes tap events.
@@ -94,41 +122,164 @@ const (
 	TapDrop
 )
 
-// Tap observes packets, standing in for tcpdump.
+// Tap observes packets, standing in for tcpdump. In sharded runs taps are
+// invoked under a mutex from several shards; calls are race-free but their
+// relative order across shards is not deterministic (aggregate anything
+// order-sensitive per source instead).
 type Tap func(at time.Duration, dir TapDir, seg tcpkit.Segment)
 
-// Network connects nodes through access links and a zero-queueing backbone.
+// Network connects nodes through access links and a zero-queueing
+// backbone. A network built with NewNetwork runs on one engine; one built
+// with NewSharded partitions nodes across several engines advanced in
+// conservative lock-step windows by Run. Attach every node before running;
+// the port table is read concurrently once the simulation starts.
 type Network struct {
-	Eng   *Engine
-	ports map[Addr]*port
+	// Eng is shard 0's engine, which is the only engine of an unsharded
+	// network (and the conventional home of pinned nodes — see Pin).
+	Eng    *Engine
+	shards []*netShard
+	ports  map[Addr]*port
+	pins   map[Addr]int
+
 	taps  []Tap
-	// Unroutable counts packets addressed to unknown nodes (e.g. SYN-ACKs
-	// to spoofed sources).
-	Unroutable uint64
+	tapMu sync.Mutex
+
+	// unroutable counts packets addressed to unknown nodes (e.g. SYN-ACKs
+	// to spoofed sources). Atomic: sends on any shard may increment it.
+	unroutable atomic.Uint64
 }
 
-// NewNetwork returns an empty network on the engine.
+// NewNetwork returns an empty single-shard network on the engine.
 func NewNetwork(eng *Engine) *Network {
-	return &Network{Eng: eng, ports: make(map[Addr]*port)}
+	return &Network{
+		Eng:    eng,
+		shards: []*netShard{{eng: eng, outbox: make([][]message, 1)}},
+		ports:  make(map[Addr]*port),
+		pins:   make(map[Addr]int),
+	}
 }
 
-// Attach registers a node with its access link. Attaching a duplicate
-// address fails.
+// NewSharded returns an empty network whose nodes are partitioned across
+// shards event engines (at least one). Nodes are placed by address hash
+// (see Pin for explicit placement); Run advances all shards in lock-step
+// windows bounded by the minimum cross-shard link latency. Results are
+// byte-identical at every shard count.
+func NewSharded(shards int) *Network {
+	if shards < 1 {
+		shards = 1
+	}
+	n := &Network{
+		ports: make(map[Addr]*port),
+		pins:  make(map[Addr]int),
+	}
+	for i := 0; i < shards; i++ {
+		n.shards = append(n.shards, &netShard{eng: NewEngine(), outbox: make([][]message, shards)})
+	}
+	n.Eng = n.shards[0].eng
+	return n
+}
+
+// Shards returns the shard count.
+func (n *Network) Shards() int { return len(n.shards) }
+
+// Engine returns shard i's engine.
+func (n *Network) Engine(i int) *Engine { return n.shards[i].eng }
+
+// Pin fixes the shard a not-yet-attached address will live on (the flood
+// experiments pin the server to shard 0). When any pin exists, unpinned
+// nodes spread over the remaining shards, keeping the pinned (hot) shards
+// to their designated tenants. Placement never affects results, only load
+// balance.
+func (n *Network) Pin(addr Addr, shard int) error {
+	if shard < 0 || shard >= len(n.shards) {
+		return fmt.Errorf("netsim: pin shard %d out of range [0,%d)", shard, len(n.shards))
+	}
+	if _, ok := n.ports[addr]; ok {
+		return fmt.Errorf("netsim: address %v already attached", addr)
+	}
+	n.pins[addr] = shard
+	return nil
+}
+
+// homeShard is the deterministic placement rule: explicit pin, else an
+// address hash over the unpinned shards (over all shards when nothing is
+// pinned).
+func (n *Network) homeShard(addr Addr) int {
+	ns := len(n.shards)
+	if ns == 1 {
+		return 0
+	}
+	if s, ok := n.pins[addr]; ok {
+		return s
+	}
+	h := fnv32a(addr)
+	if len(n.pins) == 0 {
+		return int(h % uint32(ns))
+	}
+	pinned := make([]bool, ns)
+	for _, s := range n.pins {
+		pinned[s] = true
+	}
+	var free []int
+	for i := 0; i < ns; i++ {
+		if !pinned[i] {
+			free = append(free, i)
+		}
+	}
+	if len(free) == 0 {
+		return int(h % uint32(ns))
+	}
+	return free[h%uint32(len(free))]
+}
+
+func fnv32a(addr Addr) uint32 {
+	h := uint32(2166136261)
+	for _, b := range addr {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
+// addrKey is the canonical origin component of the arrival-ordering key.
+func addrKey(addr Addr) uint64 {
+	return uint64(addr[0])<<24 | uint64(addr[1])<<16 | uint64(addr[2])<<8 | uint64(addr[3])
+}
+
+// EngineFor returns the engine of the shard the address lives (or will
+// live) on — the engine a node must schedule its own events against.
+func (n *Network) EngineFor(addr Addr) *Engine {
+	return n.shards[n.homeShard(addr)].eng
+}
+
+// Attach registers a node with its access link on the node's home shard.
+// Attaching a duplicate address fails. All attaches must happen before the
+// simulation runs.
 func (n *Network) Attach(node Node, link LinkConfig) error {
 	addr := node.Addr()
 	if _, ok := n.ports[addr]; ok {
 		return fmt.Errorf("netsim: address %v already attached", addr)
 	}
-	n.ports[addr] = &port{node: node, up: xmitter{cfg: link}, down: xmitter{cfg: link}}
+	n.ports[addr] = &port{
+		node:  node,
+		up:    xmitter{cfg: link},
+		down:  xmitter{cfg: link},
+		shard: n.homeShard(addr),
+	}
 	return nil
 }
 
 // RegisterTap adds a packet observer.
 func (n *Network) RegisterTap(t Tap) { n.taps = append(n.taps, t) }
 
-func (n *Network) tap(dir TapDir, seg tcpkit.Segment) {
+func (n *Network) tap(at time.Duration, dir TapDir, seg tcpkit.Segment) {
+	if len(n.taps) == 0 {
+		return
+	}
+	n.tapMu.Lock()
+	defer n.tapMu.Unlock()
 	for _, t := range n.taps {
-		t(n.Eng.Now(), dir, seg)
+		t(at, dir, seg)
 	}
 }
 
@@ -141,44 +292,71 @@ func (n *Network) Send(seg tcpkit.Segment) {
 
 // SendFrom injects a segment through origin's uplink regardless of the
 // segment's source address — the spoofing primitive SYN flooders use.
-// Replies to the spoofed source become unroutable.
+// Replies to the spoofed source become unroutable. Must be called from the
+// origin node's own shard (i.e. inside one of its events or before the
+// simulation starts).
 func (n *Network) SendFrom(origin Addr, seg tcpkit.Segment) {
-	n.tap(TapSend, seg)
 	src, ok := n.ports[origin]
 	if !ok {
-		// Origins must be attached; treat as misconfiguration drop.
-		n.Unroutable++
-		n.tap(TapDrop, seg)
+		// Origins must be attached; treat as misconfiguration drop. Only
+		// the (atomic) unroutable counter records it: without a port we
+		// do not know the calling shard, so reading any engine's clock
+		// for a tap here would race in sharded runs.
+		n.unroutable.Add(1)
 		return
 	}
-	now := n.Eng.Now()
+	sh := n.shards[src.shard]
+	now := sh.eng.Now()
+	n.tap(now, TapSend, seg)
 	size := seg.WireSize()
 	departUp, ok := src.up.transmit(now, size)
 	if !ok {
-		n.tap(TapDrop, seg)
+		n.tap(now, TapDrop, seg)
 		return
 	}
 	// After the uplink serialisation and both propagation legs, the packet
 	// reaches the destination's downlink.
 	dst, haveDst := n.ports[seg.Dst]
 	if !haveDst {
-		n.Unroutable++
+		n.unroutable.Add(1)
 		// Still consume uplink bandwidth; nothing arrives anywhere.
 		return
 	}
-	arriveDown := departUp + src.up.cfg.Latency + dst.down.cfg.Latency
-	n.Eng.ScheduleAt(arriveDown, func() {
-		departDown, ok := dst.down.transmit(n.Eng.Now(), size)
+	m := message{
+		at:   departUp + src.up.cfg.Latency + dst.down.cfg.Latency,
+		src:  addrKey(origin),
+		seq:  src.msgSeq,
+		size: size,
+		dst:  dst,
+		seg:  seg,
+	}
+	src.msgSeq++
+	if dst.shard == src.shard {
+		n.scheduleArrival(sh.eng, m)
+	} else {
+		sh.outbox[dst.shard] = append(sh.outbox[dst.shard], m)
+	}
+}
+
+// scheduleArrival queues the downlink leg of a delivery on the
+// destination shard's engine, canonically ordered by (time, src, seq).
+func (n *Network) scheduleArrival(eng *Engine, m message) {
+	eng.ScheduleArrivalAt(m.at, m.src, m.seq, func() {
+		departDown, ok := m.dst.down.transmit(eng.Now(), m.size)
 		if !ok {
-			n.tap(TapDrop, seg)
+			n.tap(eng.Now(), TapDrop, m.seg)
 			return
 		}
-		n.Eng.ScheduleAt(departDown, func() {
-			n.tap(TapDeliver, seg)
-			dst.node.Handle(seg)
+		eng.ScheduleAt(departDown, func() {
+			n.tap(eng.Now(), TapDeliver, m.seg)
+			m.dst.node.Handle(m.seg)
 		})
 	})
 }
+
+// Unroutable returns how many packets were addressed to unknown nodes
+// (e.g. SYN-ACKs to spoofed sources) or sent from unattached origins.
+func (n *Network) Unroutable() uint64 { return n.unroutable.Load() }
 
 // Stats returns (uplink, downlink) statistics for a node address.
 func (n *Network) Stats(addr Addr) (up, down LinkStats, ok bool) {

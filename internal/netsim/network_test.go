@@ -104,8 +104,8 @@ func TestUnroutableDestination(t *testing.T) {
 	net, a, _ := twoNodeNet(t, link)
 	net.Send(seg(a.addr, Addr{9, 9, 9, 9}, 0))
 	net.Eng.Run(time.Second)
-	if net.Unroutable != 1 {
-		t.Errorf("Unroutable = %d, want 1", net.Unroutable)
+	if net.Unroutable() != 1 {
+		t.Errorf("Unroutable = %d, want 1", net.Unroutable())
 	}
 }
 
@@ -121,8 +121,8 @@ func TestUnattachedSourceDropped(t *testing.T) {
 	if len(b.received) != 0 {
 		t.Error("segment from unattached source delivered")
 	}
-	if net.Unroutable != 1 {
-		t.Errorf("Unroutable = %d, want 1", net.Unroutable)
+	if net.Unroutable() != 1 {
+		t.Errorf("Unroutable = %d, want 1", net.Unroutable())
 	}
 }
 
@@ -185,8 +185,8 @@ func TestSendFromSpoofing(t *testing.T) {
 	reply := seg(b.addr, Addr{99, 9, 9, 9}, 0)
 	net.Send(reply)
 	net.Eng.Run(2 * time.Second)
-	if net.Unroutable != 1 {
-		t.Errorf("Unroutable = %d, want 1", net.Unroutable)
+	if net.Unroutable() != 1 {
+		t.Errorf("Unroutable = %d, want 1", net.Unroutable())
 	}
 	// The spoofed emission consumed a's uplink.
 	up, _, _ := net.Stats(a.addr)

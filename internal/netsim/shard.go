@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Run executes the simulation until the given time, firing events at or
+// before it (the sharded generalisation of Engine.Run).
+//
+// With one shard it simply drains that engine. With several it runs a
+// conservative parallel discrete-event simulation: all shards advance
+// together through lock-step time windows no wider than the lookahead —
+// the minimum uplink-plus-downlink propagation latency, which lower-bounds
+// how far in the future any cross-shard packet can land. Packets crossing
+// shards are queued in per-shard outboxes during a window and exchanged at
+// the barrier between windows; the canonical (time, source, sequence)
+// arrival ordering (see Engine.ScheduleArrivalAt) makes the execution —
+// and therefore every metric — byte-identical at every shard count.
+//
+// When the lookahead is zero (some link has no propagation delay) the
+// windows degenerate, and Run falls back to a serial merge of the shard
+// heaps that preserves the same canonical order.
+func (n *Network) Run(until time.Duration) {
+	if len(n.shards) == 1 {
+		n.Eng.Run(until)
+		return
+	}
+	if w := n.lookahead(); w > 0 {
+		n.runWindows(until, w)
+	} else {
+		n.runMerged(until)
+	}
+	// Events at exactly `until` cannot spawn cross-shard work inside the
+	// horizon (arrivals land strictly later), so each shard drains them —
+	// and advances its clock to until — independently.
+	n.exchange()
+	for _, s := range n.shards {
+		s.eng.Run(until)
+	}
+	n.exchange()
+}
+
+// lookahead returns the minimum time a packet needs to reach another
+// shard: the smallest uplink latency plus the smallest downlink latency of
+// any attached port. Serialisation time only adds to it.
+func (n *Network) lookahead() time.Duration {
+	first := true
+	var minUp, minDown time.Duration
+	for _, p := range n.ports {
+		if first || p.up.cfg.Latency < minUp {
+			minUp = p.up.cfg.Latency
+		}
+		if first || p.down.cfg.Latency < minDown {
+			minDown = p.down.cfg.Latency
+		}
+		first = false
+	}
+	if first {
+		return 0
+	}
+	return minUp + minDown
+}
+
+// exchange flushes every shard's outboxes into the destination engines.
+// Runs single-threaded between windows; the barrier orders it with the
+// shard goroutines.
+func (n *Network) exchange() {
+	for _, s := range n.shards {
+		for d, box := range s.outbox {
+			if len(box) == 0 {
+				continue
+			}
+			deng := n.shards[d].eng
+			for i := range box {
+				n.scheduleArrival(deng, box[i])
+			}
+			s.outbox[d] = box[:0]
+		}
+	}
+}
+
+// minNext returns the earliest live event time across all shards.
+func (n *Network) minNext() (time.Duration, bool) {
+	var m time.Duration
+	found := false
+	for _, s := range n.shards {
+		if at, ok := s.eng.NextEventAt(); ok && (!found || at < m) {
+			m, found = at, true
+		}
+	}
+	return m, found
+}
+
+// runWindows is the parallel path: persistent per-shard workers fire the
+// events of one window concurrently, then a barrier exchanges cross-shard
+// packets before the next window opens. Windows start at the earliest
+// pending event, so idle stretches cost one barrier, not many.
+func (n *Network) runWindows(until time.Duration, w time.Duration) {
+	starts := make([]chan time.Duration, len(n.shards))
+	var wg sync.WaitGroup
+	for i, s := range n.shards {
+		starts[i] = make(chan time.Duration, 1)
+		go func(s *netShard, start <-chan time.Duration) {
+			for end := range start {
+				s.eng.RunBefore(end)
+				wg.Done()
+			}
+		}(s, starts[i])
+	}
+	for {
+		n.exchange()
+		m, ok := n.minNext()
+		if !ok || m >= until {
+			break
+		}
+		end := m + w
+		if end > until {
+			end = until
+		}
+		wg.Add(len(n.shards))
+		for _, start := range starts {
+			start <- end
+		}
+		wg.Wait()
+	}
+	for _, start := range starts {
+		close(start)
+	}
+}
+
+// runMerged is the zero-lookahead fallback: a serial merge that always
+// fires the globally earliest event. Same-time events on different shards
+// belong to different nodes and commute, so picking the lowest shard first
+// is as canonical as any rule.
+func (n *Network) runMerged(until time.Duration) {
+	for {
+		n.exchange()
+		var best *netShard
+		var bestAt time.Duration
+		for _, s := range n.shards {
+			if at, ok := s.eng.NextEventAt(); ok && (best == nil || at < bestAt) {
+				best, bestAt = s, at
+			}
+		}
+		if best == nil || bestAt >= until {
+			return
+		}
+		best.eng.Step()
+	}
+}

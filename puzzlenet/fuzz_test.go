@@ -1,0 +1,58 @@
+package puzzlenet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameDecode fuzzes the preamble frame codec on arbitrary wire bytes:
+// readFrame must never panic or over-read, anything it accepts must
+// re-encode to exactly the bytes consumed, and oversized length prefixes
+// must be rejected before any payload is buffered (the unauthenticated-
+// peer memory bound).
+func FuzzFrameDecode(f *testing.F) {
+	var welcome bytes.Buffer
+	_ = writeFrame(&welcome, frameWelcome, nil)
+	var challenge bytes.Buffer
+	_ = writeFrame(&challenge, frameChallenge, []byte{2, 17, 32, 1, 2, 3, 4})
+	f.Add(welcome.Bytes())
+	f.Add(challenge.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{frameSolution, 0xff, 0xff})
+	f.Add([]byte{frameAccept, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		frameType, payload, err := readFrame(r)
+		if err != nil {
+			// Length prefixes beyond the bound must be caught from the
+			// header alone, with no payload read.
+			if len(data) >= 3 {
+				if length := int(data[1])<<8 | int(data[2]); length > maxFrameLen {
+					if rest := r.Len(); rest != len(data)-3 {
+						t.Fatalf("oversized frame read %d payload bytes before rejecting", len(data)-3-rest)
+					}
+				}
+			}
+			return
+		}
+		if len(payload) > maxFrameLen {
+			t.Fatalf("accepted %d-byte payload beyond maxFrameLen", len(payload))
+		}
+		consumed := len(data) - r.Len()
+		if consumed != 3+len(payload) {
+			t.Fatalf("consumed %d bytes for a %d-byte payload", consumed, len(payload))
+		}
+		var re bytes.Buffer
+		if err := writeFrame(&re, frameType, payload); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re.Bytes(), data[:consumed]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re.Bytes(), data[:consumed])
+		}
+		// Decoding the re-encoded frame must be stable.
+		ft2, p2, err := readFrame(bytes.NewReader(re.Bytes()))
+		if err != nil || ft2 != frameType || !bytes.Equal(p2, payload) {
+			t.Fatalf("round trip unstable: %v %x vs %v %x (err %v)", ft2, p2, frameType, payload, err)
+		}
+	})
+}

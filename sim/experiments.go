@@ -64,6 +64,20 @@ func WithWorkers(n int) RunOption {
 	return func(s *experiments.Scale) { s.Parallelism = n }
 }
 
+// WithShards partitions every simulated scenario's nodes across n
+// event-engine shards executing concurrently in lock-step time windows
+// (0 or 1 = the classic single heap, AutoShards = one per core). Like
+// WithWorkers this is an execution knob only: metrics and sink output are
+// byte-identical at every shard count. Workers parallelise *across* grid
+// cells; shards parallelise *inside* one cell, which is what speeds up a
+// single very large flood.
+func WithShards(n int) RunOption {
+	return func(s *experiments.Scale) { s.Shards = n }
+}
+
+// AutoShards selects one event-engine shard per core.
+const AutoShards = sweep.AutoShards
+
 // WithSinks streams every completed grid cell's sweep.Result to the given
 // sinks, in grid order, as runs land (see sweep.NewCSV, sweep.NewNDJSON,
 // sweep.NewTable). The caller owns the sinks and flushes them after the

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestCacheRoundTrip(t *testing.T) {
@@ -96,5 +97,123 @@ func TestHashStability(t *testing.T) {
 	}
 	if len(a) != 64 {
 		t.Errorf("hash length = %d, want 64 hex chars", len(a))
+	}
+}
+
+// evictionCache opens a budgeted cache and stores n cells with explicit,
+// strictly increasing modification times so the LRU order is unambiguous
+// regardless of filesystem timestamp granularity.
+func evictionCache(t *testing.T, dir string, maxBytes int64, n int) (*Cache, []Scenario) {
+	t.Helper()
+	cache, err := OpenCache(dir, WithMaxBytes(maxBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := make([]Scenario, n)
+	for i := range scs {
+		scs[i] = Scenario{Label: "cell", Seed: int64(i + 1)}
+		if err := cache.Put("exp", scs[i], []Metric{{Name: "v", Value: float64(i)}}, nil); err != nil {
+			t.Fatal(err)
+		}
+		at := time.Unix(1_700_000_000+int64(i)*10, 0)
+		if err := os.Chtimes(cache.path("exp", scs[i]), at, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cache, scs
+}
+
+func TestCacheEvictsLRUOverBudget(t *testing.T) {
+	dir := t.TempDir()
+	// Budget fits roughly two entries (~40 bytes each); storing four must
+	// evict the two oldest.
+	cache, scs := evictionCache(t, dir, 100, 4)
+	// Re-trigger accounting/eviction with one more put after the mtimes
+	// were pinned.
+	extra := Scenario{Label: "extra", Seed: 99}
+	if err := cache.Put("exp", extra, []Metric{{Name: "v", Value: 9}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Evictions() == 0 {
+		t.Fatal("no evictions despite exceeding the budget")
+	}
+	// Oldest entries gone, newest survive.
+	if _, _, ok := cache.Get("exp", scs[0]); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, _, ok := cache.Get("exp", extra); !ok {
+		t.Error("newest entry was evicted")
+	}
+	if cache.Hits() == 0 || cache.Misses() == 0 {
+		t.Errorf("counters hits=%d misses=%d, want both > 0", cache.Hits(), cache.Misses())
+	}
+	// The surviving files must fit the budget.
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range entries {
+		info, err := os.Stat(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	if total > 100 {
+		t.Errorf("stored %d bytes, budget 100", total)
+	}
+}
+
+func TestCacheHitRefreshesLRU(t *testing.T) {
+	dir := t.TempDir()
+	cache, scs := evictionCache(t, dir, 100, 2)
+	// Touch the older entry via a hit, making the newer one the LRU
+	// victim when the budget forces an eviction.
+	if _, _, ok := cache.Get("exp", scs[0]); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	extra := Scenario{Label: "extra", Seed: 42}
+	if err := cache.Put("exp", extra, []Metric{{Name: "v", Value: 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := cache.Get("exp", scs[0]); !ok {
+		t.Error("recently hit entry was evicted")
+	}
+	if _, _, ok := cache.Get("exp", scs[1]); ok {
+		t.Error("stale entry survived over the recently hit one")
+	}
+}
+
+func TestCacheOpenScansExistingSize(t *testing.T) {
+	dir := t.TempDir()
+	evictionCache(t, dir, 1<<20, 3)
+	// Re-open with a tiny budget: the pre-existing entries must be
+	// accounted and evicted down to fit immediately.
+	cache, err := OpenCache(dir, WithMaxBytes(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("entries after budgeted reopen = %d, want 1", len(entries))
+	}
+	if cache.Evictions() != 2 {
+		t.Errorf("evictions = %d, want 2", cache.Evictions())
+	}
+}
+
+func TestCacheUnlimitedNeverEvicts(t *testing.T) {
+	cache, scs := evictionCache(t, t.TempDir(), 0, 5)
+	if cache.Evictions() != 0 {
+		t.Fatalf("evictions = %d with no budget", cache.Evictions())
+	}
+	for _, sc := range scs {
+		if _, _, ok := cache.Get("exp", sc); !ok {
+			t.Errorf("entry %v missing from unlimited cache", sc.Seed)
+		}
 	}
 }

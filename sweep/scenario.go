@@ -35,6 +35,11 @@ const (
 // means "default", so opting out needs an explicit sentinel.)
 const NoBotnet = -1
 
+// AutoShards as a Scenario.Shards sizes the event-engine shard count to
+// the machine (GOMAXPROCS) at run time. Safe as a default precisely
+// because sharding never changes results, only wall-clock time.
+const AutoShards = -1
+
 // Scenario is the canonical description of one deployment under attack:
 // one server, a set of clients requesting text, and a botnet. It is the
 // single config type shared by the public sim façade, every figure/table
@@ -91,6 +96,15 @@ type Scenario struct {
 	// Every scenario builds its own RNG from this seed, so grids of
 	// scenarios are independent and safe to run in parallel.
 	Seed int64
+
+	// Shards partitions the simulation's nodes across that many
+	// concurrently executing event-engine shards (conservative
+	// time-window PDES; see internal/netsim). 0 or 1 runs the classic
+	// single heap; AutoShards uses one shard per core. Sharding is an
+	// execution knob, not a modelling one: metrics and sink output are
+	// byte-identical at every shard count, which is why the field is
+	// excluded from JSON serialisation and from the result-cache hash.
+	Shards int `json:"-"`
 }
 
 // Defaults returns a copy with the paper's §6 defaults applied to every
@@ -171,6 +185,10 @@ type Scale struct {
 	Workers int
 	// Seed overrides the seed when non-zero.
 	Seed int64
+	// Shards overrides the event-engine shard count when non-zero
+	// (AutoShards = one per core). Execution-only: results are identical
+	// at every value.
+	Shards int
 
 	// Parallelism is the runner worker count used when a driver fans a
 	// grid of scenarios out (0 = GOMAXPROCS). It never affects results,
@@ -205,6 +223,9 @@ func (s Scale) Apply(sc Scenario) Scenario {
 	}
 	if s.Seed != 0 {
 		sc.Seed = s.Seed
+	}
+	if s.Shards != 0 {
+		sc.Shards = s.Shards
 	}
 	return sc
 }

@@ -1,10 +1,65 @@
 package tcpopt
 
 import (
+	"bytes"
 	"testing"
 
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
 )
+
+// FuzzChallengeRoundTrip fuzzes the challenge codec constructively: every
+// valid (k, m, l) challenge must survive the full wire path — Encode →
+// MarshalOptions → ParseOptions → FindOption → ParseChallenge —
+// bit-for-bit, with and without an embedded timestamp. This is the
+// encode/decode contract the simulated kernels and the puzzlenet preamble
+// both build on; FuzzParseChallenge covers the adversarial direction.
+func FuzzChallengeRoundTrip(f *testing.F) {
+	f.Add(uint8(2), uint8(17), uint8(32), []byte("preimage-bytes--"), uint32(7), true)
+	f.Add(uint8(1), uint8(8), uint8(32), []byte{1, 2, 3, 4}, uint32(0), false)
+	f.Add(uint8(4), uint8(1), uint8(8), []byte{0xff}, uint32(1<<31), true)
+	f.Add(uint8(3), uint8(64), uint8(64), []byte{}, uint32(0xffffffff), false)
+	f.Fuzz(func(t *testing.T, k, m, l uint8, pre []byte, ts uint32, embedTS bool) {
+		params := puzzle.Params{K: k, M: m, L: l}
+		if params.Validate() != nil {
+			return
+		}
+		preimage := make([]byte, params.SolutionBytes())
+		copy(preimage, pre)
+		ch := puzzle.Challenge{Params: params, Preimage: preimage, Timestamp: ts}
+		opt, err := EncodeChallenge(ch, embedTS)
+		if err != nil {
+			t.Fatalf("EncodeChallenge(%+v): %v", params, err)
+		}
+		raw, err := MarshalOptions([]Option{opt})
+		if err != nil {
+			t.Fatalf("MarshalOptions: %v", err)
+		}
+		opts, err := ParseOptions(raw)
+		if err != nil {
+			t.Fatalf("ParseOptions: %v", err)
+		}
+		got, ok := FindOption(opts, KindChallenge)
+		if !ok {
+			t.Fatal("challenge option lost in marshal round-trip")
+		}
+		dec, err := ParseChallenge(got)
+		if err != nil {
+			t.Fatalf("ParseChallenge: %v", err)
+		}
+		if dec.Challenge.Params != params {
+			t.Fatalf("params %+v, want %+v", dec.Challenge.Params, params)
+		}
+		if !bytes.Equal(dec.Challenge.Preimage, preimage) {
+			t.Fatalf("preimage %x, want %x", dec.Challenge.Preimage, preimage)
+		}
+		if dec.HasTimestamp != embedTS {
+			t.Fatalf("HasTimestamp = %v, want %v", dec.HasTimestamp, embedTS)
+		}
+		if embedTS && dec.Challenge.Timestamp != ts {
+			t.Fatalf("timestamp %d, want %d", dec.Challenge.Timestamp, ts)
+		}
+	})
+}
 
 // FuzzParseOptions exercises the options parser on arbitrary bytes: it must
 // never panic, and anything it parses must re-marshal and re-parse to the
