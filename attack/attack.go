@@ -1,0 +1,233 @@
+// Package attack is the flood-strategy plugin API: the attacker half of
+// the open registry behind the paper's comparison surface. A Strategy
+// drives one bot through two hooks — Tick fires one attack action at the
+// configured rate, OnSynAck reacts to a SYN-ACK matching one of the bot's
+// own handshakes — against a narrow BotCtx facade over the bot simulator
+// (deterministic RNG, CPU model, handshake bookkeeping, send primitives
+// with attack-rate accounting).
+//
+// The paper's four flood behaviours — spoofed SYN floods, connection
+// floods, solution floods, and replay floods — are ordinary plugins here,
+// registered under the sweep.Attack names the DOE layer sweeps, and new
+// behaviours (see pulseflood.go) register the same way without touching
+// the simulator core. Info.Fingerprint follows the same cache-identity
+// contract as package defense: empty for the paper floods, versioned for
+// new plugins.
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/stats"
+	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
+	"github.com/tcppuzzles/tcppuzzles/tcpopt"
+)
+
+// Metrics collects bot-side measurements, shared between the bot core and
+// its strategy.
+type Metrics struct {
+	// Sent counts attack packets per bucket — the "measured attack rate"
+	// of Figs. 13/14 once CPU limiting is applied.
+	Sent *stats.Series
+	// AcksSent counts handshake completions attempted.
+	AcksSent *stats.Series
+	// BelievedEstablished counts connections the bot considers open.
+	BelievedEstablished uint64
+	// SolvesCompleted counts challenges solved.
+	SolvesCompleted uint64
+	// ChallengesDiscarded counts challenges dropped due to CPU backlog.
+	ChallengesDiscarded uint64
+	// RSTsReceived counts deception reveals.
+	RSTsReceived uint64
+}
+
+// NewMetrics returns empty Metrics with the given bucket width.
+func NewMetrics(bucket time.Duration) *Metrics {
+	return &Metrics{
+		Sent:     stats.NewSeries(bucket),
+		AcksSent: stats.NewSeries(bucket),
+	}
+}
+
+// BotCtx is the narrow facade a Strategy sees of one attacking machine.
+type BotCtx interface {
+	// Now is the bot's event-engine clock.
+	Now() time.Duration
+	// Rand is the bot's deterministic RNG.
+	Rand() *rand.Rand
+
+	// Addr is the bot's real address; ServerAddr/ServerPort locate the
+	// victim.
+	Addr() [4]byte
+	ServerAddr() [4]byte
+	ServerPort() uint16
+	// AttackWindow is the configured [start, stop) interval.
+	AttackWindow() (start, stop time.Duration)
+	// Solves reports whether the bot runs the patched kernel and genuinely
+	// solves challenges.
+	Solves() bool
+	// SimulatedCrypto pairs with the server's simulated puzzle engine.
+	SimulatedCrypto() bool
+	// MaxSolveBacklog is the "smart" solver's freshness bound (zero =
+	// greedy).
+	MaxSolveBacklog() time.Duration
+
+	// NextISN mints the next client initial sequence number.
+	NextISN() uint32
+	// NextPort allocates the next ephemeral source port.
+	NextPort() uint16
+	// ExpectSynAck registers an in-flight handshake so the matching
+	// SYN-ACK is routed back to the strategy's OnSynAck.
+	ExpectSynAck(port uint16, isn uint32)
+
+	// EmitAttack accounts one attack packet (Sent) and transmits it from
+	// the bot's own address.
+	EmitAttack(seg tcpkit.Segment)
+	// EmitSpoofed accounts one attack packet and transmits it through the
+	// bot's uplink with a forged source — the spoofing primitive.
+	EmitSpoofed(seg tcpkit.Segment)
+	// SendHandshakeAck completes (or pretends to complete) a handshake:
+	// accounts AcksSent and BelievedEstablished, then transmits the ACK.
+	SendHandshakeAck(port uint16, isn, serverISN uint32, opts []byte)
+
+	// ChargeCPU runs hash work on the bot CPU model and returns the
+	// absolute completion time.
+	ChargeCPU(hashes float64) time.Duration
+	// CPUBacklog reports how far into the future the CPU is committed.
+	CPUBacklog() time.Duration
+	// ScheduleAt queues fn at an absolute simulation time.
+	ScheduleAt(at time.Duration, fn func())
+
+	// Metrics is the bot's measurement state.
+	Metrics() *Metrics
+}
+
+// SynAck describes a SYN-ACK that matched one of the bot's own in-flight
+// handshakes (registered via ExpectSynAck).
+type SynAck struct {
+	// Port is the bot-local source port of the handshake.
+	Port uint16
+	// ISN is the bot's client ISN; ServerISN the server's.
+	ISN       uint32
+	ServerISN uint32
+	// Challenge is the puzzle challenge option when Challenged.
+	Challenge  tcpopt.Option
+	Challenged bool
+}
+
+// Info identifies a registered attack.
+type Info struct {
+	// Name is the sweep.Attack key the plugin registers under.
+	Name sweep.Attack
+	// Summary is a one-line description for listings.
+	Summary string
+	// Fingerprint, when non-empty, feeds the result-cache hash of every
+	// cell using this attack (see the defense package for the contract).
+	Fingerprint string
+}
+
+// Strategy is one bot behaviour. Implementations must be deterministic:
+// everything they do may derive only from the BotCtx and their own state.
+type Strategy interface {
+	// Describe returns the plugin's registration identity.
+	Describe() Info
+	// Tick fires one attack action; the bot core calls it at the
+	// configured rate over the attack window.
+	Tick(ctx BotCtx)
+	// OnSynAck reacts to a SYN-ACK matching a registered handshake.
+	OnSynAck(ctx BotCtx, sa SynAck)
+}
+
+// Factory builds a strategy instance for one bot.
+type Factory func(ctx BotCtx) (Strategy, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[sweep.Attack]registration{}
+)
+
+type registration struct {
+	info    Info
+	factory Factory
+}
+
+// Register adds an attack plugin to the registry under info.Name and
+// records its cache fingerprint with the sweep layer. It panics on an
+// empty name, a nil factory, or a duplicate registration.
+func Register(info Info, factory Factory) {
+	if info.Name == "" {
+		panic("attack: Register with empty name")
+	}
+	if factory == nil {
+		panic(fmt.Sprintf("attack: Register(%q) with nil factory", info.Name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[info.Name]; dup {
+		panic(fmt.Sprintf("attack: duplicate registration of %q", info.Name))
+	}
+	registry[info.Name] = registration{info: info, factory: factory}
+	sweep.RegisterAttackFingerprint(info.Name, info.Fingerprint)
+}
+
+// New instantiates the named attack for a bot. Unknown names error with
+// the registered alternatives.
+func New(name sweep.Attack, ctx BotCtx) (Strategy, error) {
+	regMu.RLock()
+	reg, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("attack: unknown attack %q (registered: %s)",
+			name, strings.Join(nameStrings(), ", "))
+	}
+	s, err := reg.factory(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("attack: %q: %w", name, err)
+	}
+	return s, nil
+}
+
+// Lookup returns the registration info for a name.
+func Lookup(name sweep.Attack) (Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	reg, ok := registry[name]
+	return reg.info, ok
+}
+
+// Infos lists every registered attack, sorted by name.
+func Infos() []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Info, 0, len(registry))
+	for _, reg := range registry {
+		out = append(out, reg.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names lists every registered attack name, sorted.
+func Names() []sweep.Attack {
+	infos := Infos()
+	out := make([]sweep.Attack, len(infos))
+	for i, info := range infos {
+		out[i] = info.Name
+	}
+	return out
+}
+
+func nameStrings() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, string(name))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,65 @@
+package attack
+
+import (
+	"github.com/tcppuzzles/tcppuzzles/sweep"
+	"github.com/tcppuzzles/tcppuzzles/tcpopt"
+)
+
+// connFlood completes handshakes from the bot's real address and then
+// idles (nping-style), targeting the accept queue and worker pool.
+// Whether challenges are genuinely solved depends on the bot's Solves
+// configuration; an unpatched bot answers challenges with plain ACKs the
+// protected server ignores.
+type connFlood struct{}
+
+var connFloodInfo = Info{
+	Name:    sweep.AttackConnFlood,
+	Summary: "real-address connection flood targeting the accept queue (nping)",
+}
+
+func init() {
+	Register(connFloodInfo, func(BotCtx) (Strategy, error) { return connFlood{}, nil })
+}
+
+// Describe implements Strategy.
+func (connFlood) Describe() Info { return connFloodInfo }
+
+// Tick implements Strategy.
+func (connFlood) Tick(ctx BotCtx) { sendRealSYN(ctx) }
+
+// OnSynAck implements Strategy: the connection-flood completion logic.
+func (connFlood) OnSynAck(ctx BotCtx, sa SynAck) {
+	if !sa.Challenged || !ctx.Solves() {
+		// Unchallenged handshake, or an unpatched bot: plain ACK (which a
+		// challenging server ignores). The bot still believes the
+		// connection opened (nping semantics).
+		ctx.SendHandshakeAck(sa.Port, sa.ISN, sa.ServerISN, nil)
+		return
+	}
+	solveAndAck(ctx, sa)
+}
+
+// solveAndAck runs the patched-kernel path: honour the bot's solve-backlog
+// bound, charge the brute force to the CPU model, and complete the
+// handshake with the solution once the CPU gets there.
+func solveAndAck(ctx BotCtx, sa SynAck) {
+	blk, err := tcpopt.ParseChallenge(sa.Challenge)
+	if err != nil {
+		return
+	}
+	if ctx.MaxSolveBacklog() > 0 && ctx.CPUBacklog() > ctx.MaxSolveBacklog() {
+		ctx.Metrics().ChallengesDiscarded++
+		return
+	}
+	hashes := sampleSolveHashes(ctx, blk)
+	done := ctx.ChargeCPU(float64(hashes))
+	ctx.ScheduleAt(done, func() {
+		ctx.Metrics().SolvesCompleted++
+		sol := solveChallenge(ctx, blk)
+		raw, err := encodeSolutionOptions(sol)
+		if err != nil {
+			return
+		}
+		ctx.SendHandshakeAck(sa.Port, sa.ISN, sa.ServerISN, raw)
+	})
+}

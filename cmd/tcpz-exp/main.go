@@ -5,16 +5,23 @@
 //
 // Besides the default pretty tables, -format csv|json streams every grid
 // cell's structured result (long-format CSV rows, or NDJSON including the
-// per-bucket series) to stdout or -out as runs land. -cache-dir enables
+// per-bucket series) to stdout or -out as runs land; -fold-seeds folds
+// replicated cells (Seeds axes) into mean/stddev rows. -cache-dir enables
 // the scenario-hash result cache: re-running any experiment skips every
 // already-computed cell and reports the hit/miss counters on stderr.
+//
+// The defense and attack coordinates of every scenario resolve in the
+// strategy plugin registries; -list-defenses and -list-attacks print what
+// is registered. -verbose narrates execution on stderr: per-cell shard
+// load balance (with -shards) and runner-pool backpressure.
 //
 // Usage:
 //
 //	tcpz-exp -exp fig8 -scale paper
 //	tcpz-exp -exp all -scale quick -workers 4
 //	tcpz-exp -exp fig12 -scale paper -format csv -out fig12.csv -cache-dir ~/.cache/tcpz
-//	tcpz-exp -list
+//	tcpz-exp -exp fig13 -scale quick -shards 4 -verbose
+//	tcpz-exp -list -list-defenses -list-attacks
 package main
 
 import (
@@ -44,18 +51,39 @@ func run(args []string) error {
 	shards := fs.Int("shards", 0, "event-engine shards per scenario (0 or 1 = single shard, -1 = one per core); results are identical at every value")
 	format := fs.String("format", "table", "output format: table, csv or json (NDJSON)")
 	out := fs.String("out", "", "write experiment output to this file (default stdout)")
+	foldSeeds := fs.Bool("fold-seeds", false, "fold replicated cells (Seeds axes) into mean/stddev rows (csv or json format)")
 	cacheDir := fs.String("cache-dir", "", "cache completed cells here; repeated runs skip identical scenarios")
 	cacheMax := fs.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this total size (0 = unlimited)")
+	verbose := fs.Bool("verbose", false, "narrate execution on stderr: shard load balance and runner backpressure")
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	listDefenses := fs.Bool("list-defenses", false, "list registered defense plugins and exit")
+	listAttacks := fs.Bool("list-attacks", false, "list registered attack plugins and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *list {
-		fmt.Println(strings.Join(sim.ExperimentIDs(), "\n"))
+	if *list || *listDefenses || *listAttacks {
+		if *list {
+			fmt.Println(strings.Join(sim.ExperimentIDs(), "\n"))
+		}
+		if *listDefenses {
+			fmt.Println("defenses:")
+			for _, info := range sim.DefenseInfos() {
+				fmt.Printf("  %-10s %s%s\n", info.Name, info.Summary, fingerprintNote(info.Fingerprint))
+			}
+		}
+		if *listAttacks {
+			fmt.Println("attacks:")
+			for _, info := range sim.AttackInfos() {
+				fmt.Printf("  %-14s %s%s\n", info.Name, info.Summary, fingerprintNote(info.Fingerprint))
+			}
+		}
 		return nil
 	}
 
 	opts := []sim.RunOption{sim.WithWorkers(*workers), sim.WithShards(*shards)}
+	if *verbose {
+		opts = append(opts, sim.WithDebug(os.Stderr))
+	}
 	var cache *sweep.Cache
 	if *cacheDir != "" {
 		var err error
@@ -85,6 +113,12 @@ func run(args []string) error {
 		sink = sweep.NewCSV(w)
 	case "json":
 		sink = sweep.NewNDJSON(w)
+	}
+	if *foldSeeds {
+		if sink == nil {
+			return fmt.Errorf("-fold-seeds requires -format csv or json")
+		}
+		sink = sweep.NewReplicate(sink)
 	}
 	if sink != nil {
 		opts = append(opts, sim.WithSinks(sink))
@@ -120,4 +154,11 @@ func run(args []string) error {
 			cache.Hits(), cache.Misses(), cache.Evictions(), cache.Dir())
 	}
 	return nil
+}
+
+func fingerprintNote(fp string) string {
+	if fp == "" {
+		return ""
+	}
+	return fmt.Sprintf("  [cache fingerprint %q]", fp)
 }

@@ -1,0 +1,132 @@
+package defense_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/defense"
+	"github.com/tcppuzzles/tcppuzzles/internal/experiments"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
+)
+
+// conformanceScale is a deliberately small deployment: the conformance
+// suite multiplies over every registered defense, so each run must cost
+// tens of milliseconds, not seconds.
+func conformanceScale() sweep.Scale {
+	return sweep.Scale{
+		Duration: 24 * time.Second, AttackStart: 6 * time.Second, AttackStop: 18 * time.Second,
+		NumClients: 3, ClientRate: 8, BotCount: 3, PerBotRate: 80,
+		Backlog: 64, AcceptBacklog: 64, Workers: 24, Seed: 11,
+	}
+}
+
+// seriesKey compresses a run's headline series into one comparable value.
+func seriesKey(run *experiments.FloodRun) string {
+	listen, accept := run.QueueSizes()
+	return fmt.Sprint(run.ClientThroughputMbps(), run.ServerThroughputMbps(),
+		run.ServerCPU(), listen, accept, run.AttackerEstablishedRate())
+}
+
+// TestDefenseConformance is the contract every registered defense plugin
+// must honour, whoever wrote it: the server still serves legitimate
+// clients outside the attack window (the activation latch engages and
+// releases rather than wedging), queue bounds hold under overflow
+// pressure with the worker pool disabled, and results are byte-identical
+// across event-engine shard counts. Iterating defense.Names() means a
+// newly registered plugin is conformance-tested by existing CI with zero
+// new test code.
+func TestDefenseConformance(t *testing.T) {
+	for _, name := range defense.Names() {
+		t.Run(string(name), func(t *testing.T) {
+			t.Run("describe", func(t *testing.T) {
+				sc := conformanceScale().Apply(sweep.Scenario{
+					Label: "describe", Defense: name, BotCount: sweep.NoBotnet, Duration: time.Second,
+				})
+				run, err := experiments.RunFlood(sc)
+				if err != nil {
+					t.Fatalf("RunFlood: %v", err)
+				}
+				info := run.Server.Defense().Describe()
+				if info.Name != name {
+					t.Errorf("instance describes itself as %q, registered as %q", info.Name, name)
+				}
+				reg, _ := defense.Lookup(name)
+				if !reflect.DeepEqual(info, reg) {
+					t.Errorf("Describe() = %+v, registration = %+v", info, reg)
+				}
+			})
+
+			t.Run("activation-latch", func(t *testing.T) {
+				// A solving-client deployment under a connection flood:
+				// whatever the defense does mid-attack, service before the
+				// attack starts and after it releases must exist.
+				sc := conformanceScale().Apply(sweep.Scenario{
+					Label: "latch", Defense: name, Attack: sweep.AttackConnFlood,
+					ClientsSolve: true,
+				})
+				run, err := experiments.RunFlood(sc)
+				if err != nil {
+					t.Fatalf("RunFlood: %v", err)
+				}
+				m := run.Server.Metrics()
+				if m.SYNsReceived == 0 {
+					t.Fatal("server saw no SYNs — scenario is vacuous")
+				}
+				if before := m.Established.SumRange(0, sc.AttackStart); before == 0 {
+					t.Error("no handshakes completed before the attack (defense active when idle)")
+				}
+				if after := m.Established.SumRange(sc.AttackStop, sc.Duration); after == 0 {
+					t.Error("no handshakes completed after the attack (defense never released)")
+				}
+			})
+
+			t.Run("queue-overflow", func(t *testing.T) {
+				// Nothing drains the accept queue and the listen queue is
+				// tiny: the defense must keep both inside their bounds and
+				// keep accounting sane under sustained overflow.
+				sc := conformanceScale().Apply(sweep.Scenario{
+					Label: "overflow", Defense: name, Attack: sweep.AttackSYNFlood,
+					Workers: -1,
+				})
+				// After Apply: the scale owns the queue shape, so shrink it
+				// here to force sustained overflow.
+				sc.Backlog, sc.AcceptBacklog = 16, 8
+				run, err := experiments.RunFlood(sc)
+				if err != nil {
+					t.Fatalf("RunFlood: %v", err)
+				}
+				if got := run.Server.ListenLen(); got > 16 {
+					t.Errorf("listen queue %d exceeds backlog 16", got)
+				}
+				if got := run.Server.AcceptLen(); got > 8 {
+					t.Errorf("accept queue %d exceeds backlog 8", got)
+				}
+				if run.Server.Metrics().SYNsReceived == 0 {
+					t.Error("server saw no SYNs under flood")
+				}
+			})
+
+			t.Run("determinism-shards", func(t *testing.T) {
+				sc := conformanceScale().Apply(sweep.Scenario{
+					Label: "det", Defense: name, Attack: sweep.AttackConnFlood,
+					ClientsSolve: true, BotsSolve: true,
+				})
+				single, err := experiments.RunFlood(sc)
+				if err != nil {
+					t.Fatalf("RunFlood(shards=1): %v", err)
+				}
+				sharded := sc
+				sharded.Shards = 4
+				multi, err := experiments.RunFlood(sharded)
+				if err != nil {
+					t.Fatalf("RunFlood(shards=4): %v", err)
+				}
+				if seriesKey(single) != seriesKey(multi) {
+					t.Error("defense produces different results at shards 1 vs 4")
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package defense
+
+import (
+	"fmt"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
+)
+
+// puzzlesDefense is the paper's TCP client-puzzle protection (§5): the
+// opportunistic controller challenges every SYN while the overload latch
+// is engaged — even when the accept queue overflows, so solving clients
+// can claim slots the moment they open — and verifies solutions
+// statelessly on the returning ACK.
+type puzzlesDefense struct{}
+
+var puzzlesInfo = Info{
+	Name:    sweep.DefensePuzzles,
+	Summary: "TCP client puzzles with the opportunistic challenge controller (§5)",
+}
+
+func init() {
+	Register(puzzlesInfo, func(ctx ServerCtx) (Defense, error) {
+		if err := ctx.PuzzleParams().Validate(); err != nil {
+			return nil, fmt.Errorf("puzzle params: %w", err)
+		}
+		return puzzlesDefense{}, nil
+	})
+}
+
+// Describe implements Defense.
+func (puzzlesDefense) Describe() Info { return puzzlesInfo }
+
+// OnSYN implements Defense: the opportunistic controller (§5). Challenges
+// engage when a queue fills and latch until both queues drain below the
+// low-water mark; per the paper's modification, challenges are sent even
+// while the accept queue overflows rather than dropping SYNs.
+// AlwaysChallenge is the ablation that drops the opportunism.
+func (puzzlesDefense) OnSYN(ctx ServerCtx, syn tcpkit.Segment, mss uint16, wscale uint8) {
+	if ctx.OverloadActive() {
+		sendChallenge(ctx, syn)
+		return
+	}
+	ctx.NormalSYN(syn, mss, wscale)
+}
+
+// OnACK implements Defense: every unmatched ACK runs the puzzle completion
+// path (solution verify, deception when the accept queue is full).
+func (puzzlesDefense) OnACK(ctx ServerCtx, ack tcpkit.Segment) bool {
+	completePuzzle(ctx, ack)
+	return true
+}
+
+// OnTick implements Defense.
+func (puzzlesDefense) OnTick(ServerCtx) {}

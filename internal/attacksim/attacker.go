@@ -1,7 +1,10 @@
-// Package attacksim models the paper's attackers: SYN flooders with spoofed
-// sources (hping3), connection flooders with real addresses (nping) in
-// solving and non-solving variants, replay attackers, and solution flooders,
-// plus botnet construction helpers.
+// Package attacksim models the paper's attacking machines. A Bot is the
+// simulator core — deterministic RNG, CPU model, access link, handshake
+// bookkeeping — while its behaviour is an attack-strategy plugin resolved
+// from the attack registry by Config.Attack (spoofed SYN floods,
+// connection floods in solving and non-solving variants, solution floods,
+// replay floods, and anything else registered; see package attack).
+// Botnet builds fleets of identically configured bots.
 package attacksim
 
 import (
@@ -9,35 +12,17 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/tcppuzzles/tcppuzzles/attack"
 	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
 	"github.com/tcppuzzles/tcppuzzles/internal/netsim"
-	"github.com/tcppuzzles/tcppuzzles/internal/pzengine"
-	"github.com/tcppuzzles/tcppuzzles/internal/stats"
 	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 	"github.com/tcppuzzles/tcppuzzles/tcpopt"
 )
 
-// Kind selects the attack behaviour.
-type Kind int
-
-// Attack kinds.
-const (
-	// SYNFlood sends spoofed SYNs and never completes handshakes (targets
-	// the listen queue).
-	SYNFlood Kind = iota + 1
-	// ConnFlood completes handshakes from the bot's real address and then
-	// idles (targets the accept queue / worker pool). Whether challenges
-	// are solved depends on Solves.
-	ConnFlood
-	// SolutionFlood sends ACKs carrying bogus solutions to burn server
-	// verification cycles (§7).
-	SolutionFlood
-	// ReplayFlood solves one challenge legitimately, captures its own
-	// solution ACK, and replays the identical packet at the attack rate
-	// (§7 "Replay attacks"). Flow binding limits it to one queue slot at a
-	// time and the timestamp window eventually expires the solution.
-	ReplayFlood
-)
+// Metrics is the bot measurement state (defined in package attack so
+// strategies account into it through the BotCtx facade).
+type Metrics = attack.Metrics
 
 // Config describes one bot.
 type Config struct {
@@ -47,15 +32,17 @@ type Config struct {
 	ServerAddr [4]byte
 	ServerPort uint16
 
-	// Kind selects the attack.
-	Kind Kind
+	// Attack names the behaviour in the attack registry
+	// (sweep.AttackSYNFlood, sweep.AttackConnFlood, ...). Empty selects
+	// the spoofed SYN flood.
+	Attack sweep.Attack
 	// Rate is the constant attack rate in packets (attempts) per second.
 	Rate float64
 	// StartAt and StopAt bound the attack interval.
 	StartAt, StopAt time.Duration
 
-	// Solves makes a ConnFlood bot run the patched kernel and genuinely
-	// solve challenges (rate limited by its CPU).
+	// Solves makes a connection-flood bot run the patched kernel and
+	// genuinely solve challenges (rate limited by its CPU).
 	Solves bool
 	// SimulatedCrypto pairs with the server's simulated engine.
 	SimulatedCrypto bool
@@ -80,8 +67,8 @@ func (c *Config) fillDefaults() {
 	if c.ServerPort == 0 {
 		c.ServerPort = 80
 	}
-	if c.Kind == 0 {
-		c.Kind = SYNFlood
+	if c.Attack == "" {
+		c.Attack = sweep.AttackSYNFlood
 	}
 	if c.Device.HashRate == 0 {
 		c.Device = cpumodel.CPU1
@@ -94,23 +81,6 @@ func (c *Config) fillDefaults() {
 	}
 }
 
-// Metrics collects bot-side measurements.
-type Metrics struct {
-	// Sent counts attack packets per bucket — the "measured attack rate"
-	// of Figs. 13/14 once CPU limiting is applied.
-	Sent *stats.Series
-	// AcksSent counts handshake completions attempted.
-	AcksSent *stats.Series
-	// BelievedEstablished counts connections the bot considers open.
-	BelievedEstablished uint64
-	// SolvesCompleted counts challenges solved.
-	SolvesCompleted uint64
-	// ChallengesDiscarded counts challenges dropped due to CPU backlog.
-	ChallengesDiscarded uint64
-	// RSTsReceived counts deception reveals.
-	RSTsReceived uint64
-}
-
 // Bot is one attacking machine.
 type Bot struct {
 	cfg Config
@@ -118,19 +88,18 @@ type Bot struct {
 	net *netsim.Network
 	rnd *rand.Rand
 
+	strategy attack.Strategy
+
 	isns     *tcpkit.ISNSource
 	cpu      *cpumodel.CPU
 	nextPort uint32
 	awaiting map[uint16]uint32 // port → client ISN for in-flight handshakes
 
-	// captured is the replayable solution ACK of a ReplayFlood bot.
-	captured    *tcpkit.Segment
-	capturePend bool
-
 	metrics *Metrics
 }
 
-// New builds a bot and attaches it to the network.
+// New builds a bot, resolves its attack strategy from the registry, and
+// attaches it to the network.
 func New(eng *netsim.Engine, network *netsim.Network, link netsim.LinkConfig, cfg Config) (*Bot, error) {
 	cfg.fillDefaults()
 	b := &Bot{
@@ -142,11 +111,13 @@ func New(eng *netsim.Engine, network *netsim.Network, link netsim.LinkConfig, cf
 		cpu:      cpumodel.NewCPU(cfg.Device, cfg.MetricBucket),
 		nextPort: 20000,
 		awaiting: make(map[uint16]uint32),
-		metrics: &Metrics{
-			Sent:     stats.NewSeries(cfg.MetricBucket),
-			AcksSent: stats.NewSeries(cfg.MetricBucket),
-		},
+		metrics:  attack.NewMetrics(cfg.MetricBucket),
 	}
+	strategy, err := attack.New(cfg.Attack, botCtx{b})
+	if err != nil {
+		return nil, fmt.Errorf("attacksim: %w", err)
+	}
+	b.strategy = strategy
 	if err := network.Attach(b, link); err != nil {
 		return nil, fmt.Errorf("attacksim: %w", err)
 	}
@@ -167,91 +138,22 @@ func (b *Bot) Metrics() *Metrics { return b.metrics }
 // CPU exposes the bot CPU model.
 func (b *Bot) CPU() *cpumodel.CPU { return b.cpu }
 
-// tick fires one attack packet at the configured constant rate.
+// Strategy exposes the instantiated attack behaviour.
+func (b *Bot) Strategy() attack.Strategy { return b.strategy }
+
+// tick drives the strategy at the configured constant rate.
 func (b *Bot) tick() {
 	now := b.eng.Now()
 	if now >= b.cfg.StopAt {
 		return
 	}
-	switch b.cfg.Kind {
-	case SYNFlood:
-		b.spoofedSYN()
-	case ConnFlood:
-		b.realSYN()
-	case SolutionFlood:
-		b.bogusSolution()
-	case ReplayFlood:
-		b.replay()
-	}
+	b.strategy.Tick(botCtx{b})
 	b.eng.Schedule(time.Duration(float64(time.Second)/b.cfg.Rate), b.tick)
 }
 
-// replay re-sends the captured solution ACK; until one is captured it runs
-// a single legitimate solving handshake to obtain it.
-func (b *Bot) replay() {
-	if b.captured != nil {
-		b.metrics.Sent.Add(b.eng.Now(), 1)
-		b.net.Send(*b.captured)
-		return
-	}
-	if b.capturePend {
-		return // capture handshake already in flight
-	}
-	b.capturePend = true
-	b.realSYN()
-}
-
-// spoofedSYN emits a SYN with a random forged source.
-func (b *Bot) spoofedSYN() {
-	src := [4]byte{100, byte(b.rnd.Intn(256)), byte(b.rnd.Intn(256)), byte(1 + b.rnd.Intn(254))}
-	b.metrics.Sent.Add(b.eng.Now(), 1)
-	b.net.SendFrom(b.cfg.Addr, tcpkit.Segment{
-		Src: src, Dst: b.cfg.ServerAddr,
-		SrcPort: uint16(1024 + b.rnd.Intn(60000)), DstPort: b.cfg.ServerPort,
-		Seq: b.rnd.Uint32(), Flags: tcpkit.FlagSYN, Window: 65535,
-	})
-}
-
-// realSYN opens a handshake from the bot's own address.
-func (b *Bot) realSYN() {
-	port := uint16(1024 + b.nextPort%60000)
-	b.nextPort++
-	isn := b.isns.Next()
-	b.awaiting[port] = isn
-	b.metrics.Sent.Add(b.eng.Now(), 1)
-	b.net.Send(tcpkit.Segment{
-		Src: b.cfg.Addr, Dst: b.cfg.ServerAddr,
-		SrcPort: port, DstPort: b.cfg.ServerPort,
-		Seq: isn, Flags: tcpkit.FlagSYN, Window: 65535,
-	})
-}
-
-// bogusSolution fabricates an ACK carrying a structurally valid but
-// worthless solution block, maximising server verification work.
-func (b *Bot) bogusSolution() {
-	params := puzzleParamsGuess()
-	sol := fabricateSolution(b.rnd, params)
-	opt, err := tcpopt.EncodeSolution(tcpopt.SolutionBlock{
-		MSS: 1460, WScale: 7, HasTimestamp: true, Solution: sol,
-	})
-	if err != nil {
-		return
-	}
-	opts, err := tcpopt.MarshalOptions([]tcpopt.Option{opt})
-	if err != nil {
-		return
-	}
-	b.metrics.Sent.Add(b.eng.Now(), 1)
-	b.net.Send(tcpkit.Segment{
-		Src: b.cfg.Addr, Dst: b.cfg.ServerAddr,
-		SrcPort: uint16(1024 + b.rnd.Intn(60000)), DstPort: b.cfg.ServerPort,
-		Seq: b.rnd.Uint32(), Ack: b.rnd.Uint32(),
-		Flags:   tcpkit.FlagACK,
-		Options: opts,
-	})
-}
-
-// Handle implements netsim.Node: the connection-flood completion logic.
+// Handle implements netsim.Node: filter server traffic, account deception
+// reveals, match SYN-ACKs to in-flight handshakes, and hand the result to
+// the strategy.
 func (b *Bot) Handle(seg tcpkit.Segment) {
 	if seg.Src != b.cfg.ServerAddr || seg.SrcPort != b.cfg.ServerPort {
 		return
@@ -268,108 +170,14 @@ func (b *Bot) Handle(seg tcpkit.Segment) {
 		return
 	}
 	delete(b.awaiting, seg.DstPort)
-	port := seg.DstPort
-	serverISN := seg.Seq
 
 	opts, err := tcpopt.ParseOptions(seg.Options)
 	if err != nil {
 		opts = nil
 	}
 	chOpt, challenged := tcpopt.FindOption(opts, tcpopt.KindChallenge)
-	if !challenged {
-		b.sendAck(port, isn, serverISN, nil)
-		return
-	}
-	if b.cfg.Kind == ReplayFlood {
-		// The capture handshake always solves, whatever Solves says.
-		blk, err := tcpopt.ParseChallenge(chOpt)
-		if err != nil {
-			b.capturePend = false
-			return
-		}
-		hashes := puzzleSampleHashes(b.rnd, blk)
-		done := b.cpu.Charge(b.eng.Now(), float64(hashes))
-		b.eng.ScheduleAt(done, func() {
-			b.metrics.SolvesCompleted++
-			sol := b.solve(blk)
-			opt, err := tcpopt.EncodeSolution(tcpopt.SolutionBlock{
-				MSS: 1460, WScale: 7, HasTimestamp: true, Solution: sol,
-			})
-			if err != nil {
-				b.capturePend = false
-				return
-			}
-			raw, err := tcpopt.MarshalOptions([]tcpopt.Option{opt})
-			if err != nil {
-				b.capturePend = false
-				return
-			}
-			seg := tcpkit.Segment{
-				Src: b.cfg.Addr, Dst: b.cfg.ServerAddr,
-				SrcPort: port, DstPort: b.cfg.ServerPort,
-				Seq: isn + 1, Ack: serverISN + 1,
-				Flags:   tcpkit.FlagACK,
-				Options: raw,
-			}
-			b.captured = &seg
-			b.metrics.Sent.Add(b.eng.Now(), 1)
-			b.net.Send(seg)
-		})
-		return
-	}
-	if !b.cfg.Solves {
-		// Unpatched bot: plain ACK that the protected server ignores. The
-		// bot still believes the connection opened (nping semantics).
-		b.sendAck(port, isn, serverISN, nil)
-		return
-	}
-	blk, err := tcpopt.ParseChallenge(chOpt)
-	if err != nil {
-		return
-	}
-	if b.cfg.MaxSolveBacklog > 0 && b.cpu.Backlog(b.eng.Now()) > b.cfg.MaxSolveBacklog {
-		b.metrics.ChallengesDiscarded++
-		return
-	}
-	hashes := puzzleSampleHashes(b.rnd, blk)
-	done := b.cpu.Charge(b.eng.Now(), float64(hashes))
-	b.eng.ScheduleAt(done, func() {
-		b.metrics.SolvesCompleted++
-		sol := b.solve(blk)
-		opt, err := tcpopt.EncodeSolution(tcpopt.SolutionBlock{
-			MSS: 1460, WScale: 7, HasTimestamp: true, Solution: sol,
-		})
-		if err != nil {
-			return
-		}
-		raw, err := tcpopt.MarshalOptions([]tcpopt.Option{opt})
-		if err != nil {
-			return
-		}
-		b.sendAck(port, isn, serverISN, raw)
-	})
-}
-
-func (b *Bot) solve(blk tcpopt.ChallengeBlock) (sol puzzleSolution) {
-	if b.cfg.SimulatedCrypto {
-		return pzengine.SimSolution(blk.Challenge)
-	}
-	s, _, err := puzzleSolve(blk.Challenge)
-	if err != nil {
-		return puzzleSolution{Params: blk.Challenge.Params, Timestamp: blk.Challenge.Timestamp}
-	}
-	return s
-}
-
-// sendAck completes (or pretends to complete) the handshake.
-func (b *Bot) sendAck(port uint16, isn, serverISN uint32, opts []byte) {
-	b.metrics.AcksSent.Add(b.eng.Now(), 1)
-	b.metrics.BelievedEstablished++
-	b.net.Send(tcpkit.Segment{
-		Src: b.cfg.Addr, Dst: b.cfg.ServerAddr,
-		SrcPort: port, DstPort: b.cfg.ServerPort,
-		Seq: isn + 1, Ack: serverISN + 1,
-		Flags:   tcpkit.FlagACK,
-		Options: opts,
+	b.strategy.OnSynAck(botCtx{b}, attack.SynAck{
+		Port: seg.DstPort, ISN: isn, ServerISN: seg.Seq,
+		Challenge: chOpt, Challenged: challenged,
 	})
 }

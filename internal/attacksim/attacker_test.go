@@ -1,6 +1,7 @@
 package attacksim
 
 import (
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 	"testing"
 	"time"
 
@@ -43,10 +44,10 @@ func (w *world) bot(t *testing.T, cfg Config) *Bot {
 
 func TestSYNFloodFillsListenQueue(t *testing.T) {
 	w := newWorld(t, serversim.Config{
-		Protection: serversim.ProtectionNone,
-		Backlog:    64,
+		Defense: sweep.DefenseNone,
+		Backlog: 64,
 	})
-	w.bot(t, Config{Kind: SYNFlood, Rate: 500, Seed: 1, StopAt: 10 * time.Second})
+	w.bot(t, Config{Attack: sweep.AttackSYNFlood, Rate: 500, Seed: 1, StopAt: 10 * time.Second})
 	w.eng.Run(5 * time.Second)
 	if got := w.server.ListenLen(); got != 64 {
 		t.Errorf("ListenLen = %d, want 64 (saturated)", got)
@@ -62,10 +63,10 @@ func TestSYNFloodFillsListenQueue(t *testing.T) {
 
 func TestSYNFloodHarmlessAgainstCookies(t *testing.T) {
 	w := newWorld(t, serversim.Config{
-		Protection: serversim.ProtectionCookies,
-		Backlog:    64,
+		Defense: sweep.DefenseCookies,
+		Backlog: 64,
 	})
-	w.bot(t, Config{Kind: SYNFlood, Rate: 1000, Seed: 2, StopAt: 10 * time.Second})
+	w.bot(t, Config{Attack: sweep.AttackSYNFlood, Rate: 1000, Seed: 2, StopAt: 10 * time.Second})
 	w.eng.Run(5 * time.Second)
 	// Cookies keep serving statelessly; no accept-queue damage.
 	if w.server.AcceptLen() != 0 {
@@ -78,12 +79,12 @@ func TestSYNFloodHarmlessAgainstCookies(t *testing.T) {
 
 func TestConnFloodFillsAcceptQueueWithoutPuzzles(t *testing.T) {
 	w := newWorld(t, serversim.Config{
-		Protection:    serversim.ProtectionCookies,
+		Defense:       sweep.DefenseCookies,
 		Backlog:       32,
 		AcceptBacklog: 32,
 		Workers:       -1,
 	})
-	w.bot(t, Config{Kind: ConnFlood, Rate: 200, Seed: 3, StopAt: 30 * time.Second})
+	w.bot(t, Config{Attack: sweep.AttackConnFlood, Rate: 200, Seed: 3, StopAt: 30 * time.Second})
 	w.eng.Run(10 * time.Second)
 	if got := w.server.AcceptLen(); got != 32 {
 		t.Errorf("AcceptLen = %d, want 32 (saturated)", got)
@@ -92,14 +93,14 @@ func TestConnFloodFillsAcceptQueueWithoutPuzzles(t *testing.T) {
 
 func TestConnFloodNonSolvingBlockedByPuzzles(t *testing.T) {
 	w := newWorld(t, serversim.Config{
-		Protection:      serversim.ProtectionPuzzles,
+		Defense:         sweep.DefensePuzzles,
 		Backlog:         8,
 		AcceptBacklog:   32,
 		Workers:         -1,
 		PuzzleParams:    puzzle.Params{K: 2, M: 17, L: 32},
 		SimulatedCrypto: true,
 	})
-	bot := w.bot(t, Config{Kind: ConnFlood, Rate: 200, Solves: false,
+	bot := w.bot(t, Config{Attack: sweep.AttackConnFlood, Rate: 200, Solves: false,
 		SimulatedCrypto: true, Seed: 4, StopAt: 30 * time.Second})
 	w.eng.Run(10 * time.Second)
 	// The controller engages at its watermark, after which every SYN is
@@ -118,7 +119,7 @@ func TestConnFloodNonSolvingBlockedByPuzzles(t *testing.T) {
 
 func TestSolvingBotIsCPURateLimited(t *testing.T) {
 	w := newWorld(t, serversim.Config{
-		Protection:      serversim.ProtectionPuzzles,
+		Defense:         sweep.DefensePuzzles,
 		Backlog:         2,
 		AcceptBacklog:   100000,
 		Workers:         -1,
@@ -126,7 +127,7 @@ func TestSolvingBotIsCPURateLimited(t *testing.T) {
 		PuzzleParams:    puzzle.Params{K: 2, M: 17, L: 32},
 		SimulatedCrypto: true,
 	})
-	bot := w.bot(t, Config{Kind: ConnFlood, Rate: 500, Solves: true,
+	bot := w.bot(t, Config{Attack: sweep.AttackConnFlood, Rate: 500, Solves: true,
 		SimulatedCrypto: true, Device: cpumodel.CPU1,
 		MaxSolveBacklog: 2 * time.Second, // "smart" variant keeps solutions fresh
 		Seed:            5, StopAt: 60 * time.Second})
@@ -148,13 +149,13 @@ func TestSolvingBotIsCPURateLimited(t *testing.T) {
 
 func TestSolutionFloodBurnsBoundedServerWork(t *testing.T) {
 	w := newWorld(t, serversim.Config{
-		Protection:      serversim.ProtectionPuzzles,
+		Defense:         sweep.DefensePuzzles,
 		Backlog:         4,
 		PuzzleParams:    puzzle.Params{K: 2, M: 17, L: 32},
 		SimulatedCrypto: true,
 		Workers:         -1,
 	})
-	w.bot(t, Config{Kind: SolutionFlood, Rate: 1000, Seed: 6, StopAt: 20 * time.Second})
+	w.bot(t, Config{Attack: sweep.AttackSolutionFlood, Rate: 1000, Seed: 6, StopAt: 20 * time.Second})
 	w.eng.Run(10 * time.Second)
 	m := w.server.Metrics()
 	if m.SolutionInvalid == 0 && m.SolutionMalformed == 0 {
@@ -174,12 +175,12 @@ func TestSolutionFloodBurnsBoundedServerWork(t *testing.T) {
 }
 
 func TestBotnetConstruction(t *testing.T) {
-	w := newWorld(t, serversim.Config{Protection: serversim.ProtectionNone})
+	w := newWorld(t, serversim.Config{Defense: sweep.DefenseNone})
 	bn, err := NewBotnet(w.net, BotnetConfig{
 		Size:       10,
 		BaseAddr:   [4]byte{10, 0, 3, 1},
 		ServerAddr: w.server.Addr(),
-		Kind:       SYNFlood,
+		Attack:     sweep.AttackSYNFlood,
 		PerBotRate: 100,
 		StopAt:     10 * time.Second,
 		Seed:       7,
@@ -210,7 +211,7 @@ func TestBotnetConstruction(t *testing.T) {
 
 func TestBotnetMeanCPU(t *testing.T) {
 	w := newWorld(t, serversim.Config{
-		Protection:      serversim.ProtectionPuzzles,
+		Defense:         sweep.DefensePuzzles,
 		Backlog:         2,
 		AlwaysChallenge: true,
 		PuzzleParams:    puzzle.Params{K: 2, M: 17, L: 32},
@@ -220,7 +221,7 @@ func TestBotnetMeanCPU(t *testing.T) {
 	bn, err := NewBotnet(w.net, BotnetConfig{
 		Size: 3, BaseAddr: [4]byte{10, 0, 4, 1},
 		ServerAddr: w.server.Addr(),
-		Kind:       ConnFlood, PerBotRate: 100,
+		Attack:     sweep.AttackConnFlood, PerBotRate: 100,
 		Solves: true, SimulatedCrypto: true,
 		StopAt: 20 * time.Second, Seed: 8,
 	})
@@ -243,7 +244,7 @@ func TestBotnetMeanCPU(t *testing.T) {
 
 func TestReplayFloodBoundedToOneSlot(t *testing.T) {
 	w := newWorld(t, serversim.Config{
-		Protection:      serversim.ProtectionPuzzles,
+		Defense:         sweep.DefensePuzzles,
 		Backlog:         4,
 		AcceptBacklog:   64,
 		Workers:         -1,
@@ -252,7 +253,7 @@ func TestReplayFloodBoundedToOneSlot(t *testing.T) {
 		PuzzleMaxAge:    10 * time.Second,
 		SimulatedCrypto: true,
 	})
-	bot := w.bot(t, Config{Kind: ReplayFlood, Rate: 200, Solves: true,
+	bot := w.bot(t, Config{Attack: sweep.AttackReplayFlood, Rate: 200, Solves: true,
 		SimulatedCrypto: true, Seed: 9, StopAt: 60 * time.Second})
 	w.eng.Run(30 * time.Second)
 
@@ -273,7 +274,7 @@ func TestReplayFloodBoundedToOneSlot(t *testing.T) {
 
 func TestReplayExpiresWithWindow(t *testing.T) {
 	w := newWorld(t, serversim.Config{
-		Protection:      serversim.ProtectionPuzzles,
+		Defense:         sweep.DefensePuzzles,
 		Backlog:         4,
 		AcceptBacklog:   64,
 		AlwaysChallenge: true,
@@ -281,7 +282,7 @@ func TestReplayExpiresWithWindow(t *testing.T) {
 		PuzzleMaxAge:    5 * time.Second,
 		SimulatedCrypto: true,
 	})
-	w.bot(t, Config{Kind: ReplayFlood, Rate: 100, Solves: true,
+	w.bot(t, Config{Attack: sweep.AttackReplayFlood, Rate: 100, Solves: true,
 		SimulatedCrypto: true, Seed: 10, StopAt: 60 * time.Second})
 	w.eng.Run(40 * time.Second)
 	m := w.server.Metrics()

@@ -7,6 +7,7 @@ import (
 	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
 	"github.com/tcppuzzles/tcppuzzles/internal/netsim"
 	"github.com/tcppuzzles/tcppuzzles/internal/stats"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
 
 // BotnetConfig builds a fleet of identical bots.
@@ -19,10 +20,10 @@ type BotnetConfig struct {
 	// ServerAddr and ServerPort locate the victim.
 	ServerAddr [4]byte
 	ServerPort uint16
-	// Kind, PerBotRate, Solves, SimulatedCrypto, Devices configure the
+	// Attack, PerBotRate, Solves, SimulatedCrypto, Devices configure the
 	// bots; Devices are assigned round-robin (defaults to the client CPU
 	// mix, matching the paper's "similar or better" provisioning).
-	Kind            Kind
+	Attack          sweep.Attack
 	PerBotRate      float64
 	Solves          bool
 	SimulatedCrypto bool
@@ -72,7 +73,7 @@ func NewBotnet(network *netsim.Network, cfg BotnetConfig) (*Botnet, error) {
 			Addr:            addr,
 			ServerAddr:      cfg.ServerAddr,
 			ServerPort:      cfg.ServerPort,
-			Kind:            cfg.Kind,
+			Attack:          cfg.Attack,
 			Rate:            cfg.PerBotRate,
 			StartAt:         cfg.StartAt,
 			StopAt:          cfg.StopAt,

@@ -1,6 +1,7 @@
 package clientsim
 
 import (
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 	"testing"
 	"time"
 
@@ -43,7 +44,7 @@ func (w *world) client(t *testing.T, cfg Config) *Client {
 }
 
 func TestClientCompletesRequestUnprotected(t *testing.T) {
-	w := newWorld(t, serversim.Config{Protection: serversim.ProtectionNone})
+	w := newWorld(t, serversim.Config{Defense: sweep.DefenseNone})
 	c := w.client(t, Config{RequestBytes: 20000, Seed: 3})
 	c.Connect()
 	w.eng.Run(10 * time.Second)
@@ -64,7 +65,7 @@ func TestClientCompletesRequestUnprotected(t *testing.T) {
 }
 
 func TestClientPoissonGeneratorRate(t *testing.T) {
-	w := newWorld(t, serversim.Config{Protection: serversim.ProtectionNone})
+	w := newWorld(t, serversim.Config{Defense: sweep.DefenseNone})
 	c := w.client(t, Config{Rate: 50, RequestBytes: 1000, Seed: 5, StopAt: 20 * time.Second})
 	w.eng.Run(30 * time.Second)
 	started := float64(c.Metrics().Started)
@@ -79,7 +80,7 @@ func TestClientPoissonGeneratorRate(t *testing.T) {
 
 func TestClientSolvesChallengeRealCrypto(t *testing.T) {
 	w := newWorld(t, serversim.Config{
-		Protection:   serversim.ProtectionPuzzles,
+		Defense:      sweep.DefensePuzzles,
 		Backlog:      1,
 		PuzzleParams: puzzle.Params{K: 2, M: 4, L: 32},
 	})
@@ -105,7 +106,7 @@ func TestClientSolvesChallengeRealCrypto(t *testing.T) {
 // solves with real crypto, and gets service; the non-solving client fails.
 func TestSolvingVsNonSolvingUnderProtection(t *testing.T) {
 	w := newWorld(t, serversim.Config{
-		Protection:    serversim.ProtectionPuzzles,
+		Defense:       sweep.DefensePuzzles,
 		Backlog:       1,
 		PuzzleParams:  puzzle.Params{K: 2, M: 4, L: 32},
 		SynAckTimeout: time.Hour,
@@ -164,7 +165,7 @@ func TestClientRetransmitsAndFails(t *testing.T) {
 	// Server with backlog 0 behaviour: protection none + tiny backlog that
 	// is instantly filled by another host so our client's SYNs are dropped.
 	w := newWorld(t, serversim.Config{
-		Protection:    serversim.ProtectionNone,
+		Defense:       sweep.DefenseNone,
 		Backlog:       1,
 		SynAckTimeout: time.Hour,
 	})
@@ -186,7 +187,7 @@ func TestClientRetransmitsAndFails(t *testing.T) {
 
 func TestClientAbandonsWhenCPUOverloaded(t *testing.T) {
 	w := newWorld(t, serversim.Config{
-		Protection:      serversim.ProtectionPuzzles,
+		Defense:         sweep.DefensePuzzles,
 		Backlog:         1,
 		PuzzleParams:    puzzle.Params{K: 2, M: 17, L: 32},
 		SimulatedCrypto: true,
@@ -210,7 +211,7 @@ func TestClientAbandonsWhenCPUOverloaded(t *testing.T) {
 
 func TestClientSimCryptoEndToEnd(t *testing.T) {
 	w := newWorld(t, serversim.Config{
-		Protection:      serversim.ProtectionPuzzles,
+		Defense:         sweep.DefensePuzzles,
 		Backlog:         1,
 		PuzzleParams:    puzzle.Params{K: 2, M: 17, L: 32},
 		SimulatedCrypto: true,
@@ -235,7 +236,7 @@ func TestClientSimCryptoEndToEnd(t *testing.T) {
 
 func TestClientDefersArrivalsWhileSolving(t *testing.T) {
 	w := newWorld(t, serversim.Config{
-		Protection:      serversim.ProtectionPuzzles,
+		Defense:         sweep.DefensePuzzles,
 		Backlog:         1,
 		PuzzleParams:    puzzle.Params{K: 2, M: 17, L: 32},
 		SimulatedCrypto: true,

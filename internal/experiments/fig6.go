@@ -54,11 +54,11 @@ func (c *Fig6Config) fill() {
 func Fig6Grid(ks, ms []uint8, connections int, seed int64) sweep.Grid {
 	return sweep.Grid{
 		Base: Scenario{
-			Duration:     time.Duration(connections+2) * fig6ConnectionGap,
-			NumClients:   1,
-			RequestBytes: 1000,
-			ClientsSolve: true,
-			Defense:      DefensePuzzles,
+			Duration:        time.Duration(connections+2) * fig6ConnectionGap,
+			NumClients:      1,
+			RequestBytes:    1000,
+			ClientsSolve:    true,
+			Defense:         DefensePuzzles,
 			AlwaysChallenge: true,
 			Attack:          AttackConnFlood, // canonical default; no botnet runs
 			BotCount:        NoBotnet,
@@ -105,7 +105,7 @@ func fig6Cell(sc Scenario) ([]sweep.Metric, []sweep.Series, error) {
 	lan := netsim.LinkConfig{RateBps: 1e9, Latency: 10 * time.Microsecond, MaxBacklog: time.Second}
 	srv, err := serversim.New(eng, network, lan, serversim.Config{
 		Addr:            [4]byte{10, 0, 0, 1},
-		Protection:      serversim.ProtectionPuzzles,
+		Defense:         DefensePuzzles,
 		AlwaysChallenge: true,
 		PuzzleParams:    params,
 		SimulatedCrypto: true,

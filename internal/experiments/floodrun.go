@@ -48,14 +48,6 @@ func shardCount(n int) int {
 // engine — which is why metrics are byte-identical at every shard count.
 func RunFlood(sc Scenario) (*FloodRun, error) {
 	sc = sc.Defaults()
-	protection, err := protectionFor(sc)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %w", err)
-	}
-	attackKind, err := attackKindFor(sc)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %w", err)
-	}
 	serverAddr := netsim.Addr{10, 0, 0, 1}
 	network := netsim.NewSharded(shardCount(sc.Shards))
 	if err := network.Pin(serverAddr, 0); err != nil {
@@ -65,7 +57,7 @@ func RunFlood(sc Scenario) (*FloodRun, error) {
 
 	srv, err := serversim.New(eng, network, netsim.DefaultServerLink(), serversim.Config{
 		Addr:               serverAddr,
-		Protection:         protection,
+		Defense:            sc.Defense,
 		PuzzleParams:       sc.Params,
 		AlwaysChallenge:    sc.AlwaysChallenge,
 		AdaptiveDifficulty: sc.AdaptiveDifficulty,
@@ -107,7 +99,7 @@ func RunFlood(sc Scenario) (*FloodRun, error) {
 			Size:            sc.BotCount,
 			BaseAddr:        [4]byte{10, 2, 0, 1},
 			ServerAddr:      srv.Addr(),
-			Kind:            attackKind,
+			Attack:          sc.Attack,
 			PerBotRate:      sc.PerBotRate,
 			Solves:          sc.BotsSolve,
 			SimulatedCrypto: true,

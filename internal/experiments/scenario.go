@@ -1,17 +1,17 @@
 package experiments
 
 import (
-	"fmt"
 	"time"
 
-	"github.com/tcppuzzles/tcppuzzles/internal/attacksim"
-	"github.com/tcppuzzles/tcppuzzles/internal/serversim"
 	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
 
 // The canonical configuration types live in the public sweep package (the
 // DOE layer below this one); the aliases keep every driver, test, and the
-// sim façade on literally the same types.
+// sim façade on literally the same types. Defense and Attack names resolve
+// directly in the strategy registries (packages defense and attack) — the
+// simulators consume the sweep strings as-is, so there is no translation
+// layer between the DOE grid and the simulator cores.
 type (
 	// Scenario is the canonical description of one deployment under
 	// attack. See sweep.Scenario.
@@ -27,51 +27,22 @@ type (
 
 // Re-exported enum values and sentinels.
 const (
-	DefenseNone     = sweep.DefenseNone
-	DefenseCookies  = sweep.DefenseCookies
-	DefenseSYNCache = sweep.DefenseSYNCache
-	DefensePuzzles  = sweep.DefensePuzzles
+	DefenseNone      = sweep.DefenseNone
+	DefenseCookies   = sweep.DefenseCookies
+	DefenseSYNCache  = sweep.DefenseSYNCache
+	DefensePuzzles   = sweep.DefensePuzzles
+	DefenseHybrid    = sweep.DefenseHybrid
+	DefenseRateLimit = sweep.DefenseRateLimit
 
 	AttackSYNFlood      = sweep.AttackSYNFlood
 	AttackConnFlood     = sweep.AttackConnFlood
 	AttackSolutionFlood = sweep.AttackSolutionFlood
 	AttackReplayFlood   = sweep.AttackReplayFlood
+	AttackPulseFlood    = sweep.AttackPulseFlood
 
 	// NoBotnet as a Scenario.BotCount disables the botnet entirely.
 	NoBotnet = sweep.NoBotnet
 )
-
-// protectionFor resolves the defense enum for the server simulator.
-func protectionFor(sc Scenario) (serversim.Protection, error) {
-	switch sc.Defense {
-	case "", DefensePuzzles:
-		return serversim.ProtectionPuzzles, nil
-	case DefenseNone:
-		return serversim.ProtectionNone, nil
-	case DefenseCookies:
-		return serversim.ProtectionCookies, nil
-	case DefenseSYNCache:
-		return serversim.ProtectionSYNCache, nil
-	default:
-		return 0, fmt.Errorf("unknown defense %q", sc.Defense)
-	}
-}
-
-// attackKindFor resolves the attack enum for the botnet simulator.
-func attackKindFor(sc Scenario) (attacksim.Kind, error) {
-	switch sc.Attack {
-	case "", AttackConnFlood:
-		return attacksim.ConnFlood, nil
-	case AttackSYNFlood:
-		return attacksim.SYNFlood, nil
-	case AttackSolutionFlood:
-		return attacksim.SolutionFlood, nil
-	case AttackReplayFlood:
-		return attacksim.ReplayFlood, nil
-	default:
-		return 0, fmt.Errorf("unknown attack %q", sc.Attack)
-	}
-}
 
 // PaperScale is the full-size evaluation of §6.
 func PaperScale() Scale {

@@ -10,8 +10,10 @@ import (
 
 // shardMatrixGrid is a mid-size flood grid mixing defenses and attacks so
 // the determinism matrix exercises spoofed SYN floods (unroutable
-// replies), solving connection floods (CPU-model feedback), and the full
-// server pipeline.
+// replies), solving connection floods (CPU-model feedback), the full
+// server pipeline, and every plugin registered outside the paper's four —
+// a new strategy is only "registered" once it holds byte-identical output
+// across shard and worker counts here.
 func shardMatrixGrid() sweep.Grid {
 	return sweep.Grid{
 		Base: Scenario{ClientsSolve: true, BotsSolve: true},
@@ -23,6 +25,18 @@ func shardMatrixGrid() sweep.Grid {
 			sweep.Point{Label: "cookies-syn", Set: func(sc *Scenario) {
 				sc.Defense = DefenseCookies
 				sc.Attack = AttackSYNFlood
+			}},
+			sweep.Point{Label: "hybrid-conn", Set: func(sc *Scenario) {
+				sc.Defense = DefenseHybrid
+				sc.Attack = AttackConnFlood
+			}},
+			sweep.Point{Label: "ratelimit-syn", Set: func(sc *Scenario) {
+				sc.Defense = DefenseRateLimit
+				sc.Attack = AttackSYNFlood
+			}},
+			sweep.Point{Label: "puzzles-pulse", Set: func(sc *Scenario) {
+				sc.Defense = DefensePuzzles
+				sc.Attack = AttackPulseFlood
 			}},
 		)},
 	}
@@ -72,10 +86,12 @@ func TestShardDeterminismMatrix(t *testing.T) {
 			if !bytes.Equal(jsonOut, wantJSON) {
 				t.Errorf("shards=%d workers=%d: NDJSON output differs from baseline", shards, workers)
 			}
-			// Result structs carry the Shards knob itself; mask it before
-			// comparing the measurements.
+			// Result structs carry two execution-only knobs: the Shards
+			// setting and the runner-pool Exec stats (scheduling-dependent
+			// by design). Mask both before comparing the measurements.
 			for i := range results {
 				results[i].Scenario.Shards = wantResults[i].Scenario.Shards
+				results[i].Exec = wantResults[i].Exec
 			}
 			if !reflect.DeepEqual(results, wantResults) {
 				t.Errorf("shards=%d workers=%d: Results differ from baseline", shards, workers)

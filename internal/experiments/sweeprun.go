@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/tcppuzzles/tcppuzzles/sim/runner"
 	"github.com/tcppuzzles/tcppuzzles/sweep"
@@ -40,7 +41,7 @@ func runCells(scale Scale, experiment, cacheNS string, cells []Scenario,
 	}
 	results := make([]sweep.Result, len(cells))
 	stream := sweep.NewStream(scale.Sinks...)
-	err := runner.ForEach(scale.Parallelism, len(cells), func(i int) error {
+	stats, err := runner.ForEachStats(scale.Parallelism, len(cells), func(i int) error {
 		var (
 			metrics []sweep.Metric
 			series  []sweep.Series
@@ -75,6 +76,26 @@ func runCells(scale Scale, experiment, cacheNS string, cells []Scenario,
 	if err != nil {
 		return nil, err
 	}
+	// Attach the pool's backpressure stats (shared across the grid) and
+	// narrate them when debugging. Exec is json-skipped and uncached, so
+	// sink bytes and determinism comparisons never see it.
+	exec := &sweep.ExecStats{
+		Workers:          stats.Workers,
+		Jobs:             stats.Jobs,
+		LocalClaims:      stats.LocalClaims,
+		Steals:           stats.Steals,
+		FailedStealScans: stats.FailedStealScans,
+		MeanQueueDepth:   stats.MeanQueueDepth,
+	}
+	for i := range results {
+		results[i].Exec = exec
+	}
+	if scale.Debug != nil {
+		fmt.Fprintf(scale.Debug,
+			"[%s] runner: workers=%d jobs=%d local=%d steals=%d failed-scans=%d mean-queue-depth=%.1f\n",
+			experiment, exec.Workers, exec.Jobs, exec.LocalClaims, exec.Steals,
+			exec.FailedStealScans, exec.MeanQueueDepth)
+	}
 	return results, nil
 }
 
@@ -87,10 +108,20 @@ func runFloodCells(scale Scale, experiment, cacheNS string, cells []Scenario,
 	extract func(*FloodRun) ([]sweep.Metric, []sweep.Series),
 ) ([]sweep.Result, []*FloodRun, error) {
 	runs := make([]*FloodRun, len(cells))
+	var debugMu sync.Mutex
 	results, err := runCells(scale, experiment, cacheNS, cells, func(i int, sc Scenario) ([]sweep.Metric, []sweep.Series, error) {
 		run, err := RunFlood(sc)
 		if err != nil {
 			return nil, nil, err
+		}
+		if scale.Debug != nil {
+			// Per-cell shard load balance: event counts show placement
+			// skew, barrier waits show which shards idled at windows.
+			st := run.Net.ShardStats()
+			debugMu.Lock()
+			fmt.Fprintf(scale.Debug, "[%s] cell %q: shards=%d events=%v windows=%d barrier-wait=%v\n",
+				experiment, sc.Label, run.Net.Shards(), st.Events, st.Windows, st.BarrierWait)
+			debugMu.Unlock()
 		}
 		runs[i] = run
 		metrics, series := extract(run)

@@ -195,3 +195,57 @@ func TestRunCellsNamesFailingCell(t *testing.T) {
 		t.Errorf("error does not name the failing cell: %v", err)
 	}
 }
+
+// The new strategy plugins are first-class sweep citizens: runnable from
+// a Defenses/Attacks grid axis, byte-identical sink output on a cached
+// rerun (zero simulation work), and attached runner-pool exec stats.
+func TestNewPluginsSweepCacheRoundTrip(t *testing.T) {
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := sweep.Grid{
+		Base: Scenario{
+			Duration: 24 * time.Second, AttackStart: 6 * time.Second, AttackStop: 18 * time.Second,
+			NumClients: 3, ClientRate: 8, BotCount: 3, PerBotRate: 60,
+			Backlog: 64, AcceptBacklog: 64, Workers: 24,
+			ClientsSolve: true, Seed: 21,
+		},
+		Axes: []sweep.Axis{
+			sweep.Defenses(DefenseHybrid, DefenseRateLimit),
+			sweep.Attacks(AttackSYNFlood, AttackPulseFlood),
+		},
+	}
+	render := func() string {
+		var buf bytes.Buffer
+		scale := Scale{Cache: cache, Sinks: []sweep.Sink{sweep.NewCSV(&buf)}}
+		results, err := RunSweep(scale, grid)
+		if err != nil {
+			t.Fatalf("RunSweep: %v", err)
+		}
+		if len(results) != 4 {
+			t.Fatalf("results = %d, want 4", len(results))
+		}
+		for _, r := range results {
+			if r.Exec == nil || r.Exec.Jobs != 4 {
+				t.Errorf("cell %q missing runner exec stats: %+v", r.Scenario.Label, r.Exec)
+			}
+		}
+		return buf.String()
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("empty sink output")
+	}
+	misses := cache.Misses()
+	second := render()
+	if second != first {
+		t.Errorf("cached rerun output differs:\n%s\nvs\n%s", second, first)
+	}
+	if cache.Misses() != misses {
+		t.Errorf("cached rerun missed %d times; new-plugin cells must hit", cache.Misses()-misses)
+	}
+	if cache.Hits() < 4 {
+		t.Errorf("cache hits = %d, want ≥ 4", cache.Hits())
+	}
+}

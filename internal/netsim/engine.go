@@ -93,9 +93,10 @@ func (h *eventHeap) Pop() any {
 // events at equal times fire in scheduling order (arrival events are the
 // exception — see ScheduleArrivalAt).
 type Engine struct {
-	now time.Duration
-	pq  eventHeap
-	seq uint64
+	now   time.Duration
+	pq    eventHeap
+	seq   uint64
+	fired uint64
 }
 
 // NewEngine returns an engine at time zero.
@@ -148,11 +149,16 @@ func (e *Engine) Step() bool {
 			continue
 		}
 		e.now = ev.at
+		e.fired++
 		ev.fn()
 		return true
 	}
 	return false
 }
+
+// Fired returns how many events this engine has executed — the per-shard
+// load signal behind Network.ShardStats.
+func (e *Engine) Fired() uint64 { return e.fired }
 
 // Run fires all events scheduled at or before until and then advances the
 // clock to until. The time check discards cancelled events first, so a

@@ -147,6 +147,37 @@ type Network struct {
 	// unroutable counts packets addressed to unknown nodes (e.g. SYN-ACKs
 	// to spoofed sources). Atomic: sends on any shard may increment it.
 	unroutable atomic.Uint64
+
+	// Shard load-balance observability (see ShardStats): the window count
+	// and per-shard cumulative barrier wait of sharded runs. Written only
+	// by the window coordinator between barriers.
+	windows     int
+	barrierWait []time.Duration
+}
+
+// ShardStats summarises how a sharded run's load spread across shards:
+// per-shard executed event counts, the number of lock-step windows, and
+// each shard's cumulative wall-clock wait at window barriers (time spent
+// finished while the slowest shard of the window was still running —
+// high wait on one shard means the others carry the load). Event counts
+// are deterministic; waits and windows are wall-clock observations and
+// never affect results.
+type ShardStats struct {
+	Events      []uint64
+	Windows     int
+	BarrierWait []time.Duration
+}
+
+// ShardStats reports the current load-balance counters.
+func (n *Network) ShardStats() ShardStats {
+	st := ShardStats{Windows: n.windows, Events: make([]uint64, len(n.shards))}
+	for i, s := range n.shards {
+		st.Events[i] = s.eng.Fired()
+	}
+	if n.barrierWait != nil {
+		st.BarrierWait = append([]time.Duration(nil), n.barrierWait...)
+	}
+	return st
 }
 
 // NewNetwork returns an empty single-shard network on the engine.

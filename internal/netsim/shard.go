@@ -97,16 +97,25 @@ func (n *Network) minNext() (time.Duration, bool) {
 // packets before the next window opens. Windows start at the earliest
 // pending event, so idle stretches cost one barrier, not many.
 func (n *Network) runWindows(until time.Duration, w time.Duration) {
+	if n.barrierWait == nil {
+		n.barrierWait = make([]time.Duration, len(n.shards))
+	}
 	starts := make([]chan time.Duration, len(n.shards))
+	// finish[i] is shard i's wall-clock completion of the current window;
+	// written by the shard worker, read by the coordinator after the
+	// barrier (ordered by wg), and folded into barrierWait as the gap to
+	// the window's slowest shard.
+	finish := make([]time.Time, len(n.shards))
 	var wg sync.WaitGroup
 	for i, s := range n.shards {
 		starts[i] = make(chan time.Duration, 1)
-		go func(s *netShard, start <-chan time.Duration) {
+		go func(i int, s *netShard, start <-chan time.Duration) {
 			for end := range start {
 				s.eng.RunBefore(end)
+				finish[i] = time.Now()
 				wg.Done()
 			}
-		}(s, starts[i])
+		}(i, s, starts[i])
 	}
 	for {
 		n.exchange()
@@ -123,6 +132,16 @@ func (n *Network) runWindows(until time.Duration, w time.Duration) {
 			start <- end
 		}
 		wg.Wait()
+		n.windows++
+		var last time.Time
+		for _, at := range finish {
+			if at.After(last) {
+				last = at
+			}
+		}
+		for i, at := range finish {
+			n.barrierWait[i] += last.Sub(at)
+		}
 	}
 	for _, start := range starts {
 		close(start)

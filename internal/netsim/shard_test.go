@@ -225,3 +225,72 @@ func TestPinPlacesNode(t *testing.T) {
 		t.Error("out-of-range pin accepted")
 	}
 }
+
+// statsMesh builds a small echo mesh on net and returns nothing; the
+// caller runs the network and reads ShardStats.
+func statsMesh(t *testing.T, net *Network, nodes int) {
+	t.Helper()
+	link := LinkConfig{RateBps: 100e6, Latency: 2 * time.Millisecond, MaxBacklog: 100 * time.Millisecond}
+	addrs := make([]Addr, nodes)
+	for i := range addrs {
+		addrs[i] = Addr{10, 0, 0, byte(1 + i)}
+	}
+	for i, addr := range addrs {
+		var peers []Addr
+		for _, p := range addrs {
+			if p != addr {
+				peers = append(peers, p)
+			}
+		}
+		n := &echoNode{
+			addr: addr, eng: net.EngineFor(addr), net: net,
+			rnd: rand.New(rand.NewSource(int64(100 + i))), peers: peers,
+			rate: 100, stopAt: 2 * time.Second, byPeer: map[Addr]uint64{},
+		}
+		if err := net.Attach(n, link); err != nil {
+			t.Fatalf("Attach(%v): %v", addr, err)
+		}
+		n.eng.Schedule(0, n.tick)
+	}
+}
+
+// ShardStats is observability, not modelling: event counts must cover the
+// whole run deterministically, and sharded runs must report their windows
+// and per-shard barrier waits.
+func TestShardStatsReportLoadBalance(t *testing.T) {
+	serialNet := NewSharded(1)
+	statsMesh(t, serialNet, 8)
+	serialNet.Run(2 * time.Second)
+	serialTotal := serialNet.ShardStats().Events[0]
+	if serialTotal == 0 {
+		t.Fatal("serial run fired no events")
+	}
+
+	net := NewSharded(4)
+	statsMesh(t, net, 8)
+	net.Run(2 * time.Second)
+	st := net.ShardStats()
+	if len(st.Events) != 4 {
+		t.Fatalf("Events has %d shards, want 4", len(st.Events))
+	}
+	var total uint64
+	busy := 0
+	for _, n := range st.Events {
+		total += n
+		if n > 0 {
+			busy++
+		}
+	}
+	if total != serialTotal {
+		t.Errorf("sharded events = %d, serial = %d; the same run must fire the same events", total, serialTotal)
+	}
+	if busy < 2 {
+		t.Errorf("only %d shards fired events; mesh placement should spread load", busy)
+	}
+	if st.Windows == 0 {
+		t.Error("sharded run reports zero windows")
+	}
+	if len(st.BarrierWait) != 4 {
+		t.Errorf("BarrierWait has %d entries, want 4", len(st.BarrierWait))
+	}
+}

@@ -24,7 +24,7 @@ func (s *Server) establish(peer tcpkit.PeerKey, mss uint16, solvedPuzzle bool) {
 		mss = 536
 	}
 	s.conns[peer] = &conn{peer: peer, mss: mss, createdAt: s.eng.Now()}
-	s.metrics.recordEstablished(s.eng.Now(), peer)
+	s.metrics.RecordEstablished(s.eng.Now(), peer)
 	s.dispatchWorkers()
 }
 

@@ -1,8 +1,3 @@
-// Package serversim models the protected server: a listen socket with the
-// paper's four defense configurations (no protection, SYN cookies, SYN
-// cache, TCP client puzzles), the opportunistic challenge controller of §5,
-// an application worker pool draining the accept queue, and the
-// "gettext/size" test application of §6.
 package serversim
 
 import (
@@ -10,39 +5,8 @@ import (
 
 	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 )
-
-// Protection selects the defense configuration.
-type Protection int
-
-// Defense configurations evaluated in the paper.
-const (
-	// ProtectionNone is the unprotected control setting.
-	ProtectionNone Protection = iota + 1
-	// ProtectionCookies enables SYN cookies once the listen queue fills.
-	ProtectionCookies
-	// ProtectionSYNCache stores half-open state in a bounded SYN cache.
-	ProtectionSYNCache
-	// ProtectionPuzzles enables TCP client puzzles once either queue fills
-	// (the paper's opportunistic controller), with statelessness preserved.
-	ProtectionPuzzles
-)
-
-// String names the protection mode.
-func (p Protection) String() string {
-	switch p {
-	case ProtectionNone:
-		return "none"
-	case ProtectionCookies:
-		return "cookies"
-	case ProtectionSYNCache:
-		return "syncache"
-	case ProtectionPuzzles:
-		return "puzzles"
-	default:
-		return "unknown"
-	}
-}
 
 // Config describes the server deployment.
 type Config struct {
@@ -50,23 +14,26 @@ type Config struct {
 	Addr [4]byte
 	Port uint16
 
-	// Protection is the defense configuration.
-	Protection Protection
-	// PuzzleParams is the difficulty used by ProtectionPuzzles.
+	// Defense names the protection strategy in the defense registry
+	// (sweep.DefenseNone, sweep.DefensePuzzles, ...). Empty selects the
+	// paper's default, puzzles.
+	Defense sweep.Defense
+	// PuzzleParams is the difficulty used by puzzle-issuing defenses.
 	PuzzleParams puzzle.Params
 	// PuzzleMaxAge is the challenge replay window.
 	PuzzleMaxAge time.Duration
-	// AlwaysChallenge disables the opportunistic controller and challenges
-	// every SYN — the ablation of §5's design choice.
+	// AlwaysChallenge disables the opportunistic controller and latches
+	// the overload signal permanently — the ablation of §5's design
+	// choice (the puzzles defense then challenges every SYN).
 	AlwaysChallenge bool
 	// ProtectionRelease is how long both queues must stay below the
-	// low-water mark before the challenge controller disengages; defaults
+	// low-water mark before the overload latch disengages; defaults
 	// to SynAckTimeout, reproducing the paper's ~30 s recovery.
 	ProtectionRelease time.Duration
 	// AdaptiveDifficulty enables the closed-loop controller of §7's future
-	// work: while protection is latched and the accept queue keeps
+	// work: while the overload latch is engaged and the accept queue keeps
 	// climbing, the difficulty m is raised one bit per AdaptInterval (up
-	// to AdaptMaxM); once protection disengages it decays back to the
+	// to AdaptMaxM); once the latch disengages it decays back to the
 	// configured baseline.
 	AdaptiveDifficulty bool
 	// AdaptInterval is the adaptation period (default 5 s).
@@ -126,7 +93,7 @@ func DefaultConfig() Config {
 	return Config{
 		Addr:                [4]byte{10, 0, 0, 1},
 		Port:                80,
-		Protection:          ProtectionPuzzles,
+		Defense:             sweep.DefensePuzzles,
 		PuzzleParams:        puzzle.Params{K: 2, M: 17, L: 32},
 		PuzzleMaxAge:        30 * time.Second,
 		Backlog:             4096,
@@ -148,8 +115,8 @@ func (c *Config) fillDefaults() {
 	if c.Port == 0 {
 		c.Port = d.Port
 	}
-	if c.Protection == 0 {
-		c.Protection = d.Protection
+	if c.Defense == "" {
+		c.Defense = d.Defense
 	}
 	if c.PuzzleParams == (puzzle.Params{}) {
 		c.PuzzleParams = d.PuzzleParams

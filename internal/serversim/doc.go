@@ -1,16 +1,19 @@
 // Package serversim models the protected server of the paper's testbed
 // inside the deterministic discrete-event engine (internal/netsim).
 //
-// A Server terminates simulated TCP handshakes under one of four
-// Protection modes — none, SYN cookies, a SYN cache, or client puzzles —
-// and serves application requests through a bounded worker pool fed by
+// A Server terminates simulated TCP handshakes under a protection
+// strategy resolved from the defense plugin registry (package defense) by
+// the Config.Defense name — the paper's four modes (none, SYN cookies, a
+// SYN cache, client puzzles) plus any other registered plugin — and
+// serves application requests through a bounded worker pool fed by
 // listen and accept queues, the two resources the paper's floods exhaust.
-// Puzzle protection is opportunistic by default (challenges engage only
-// when queue pressure indicates an attack, §5) and can adapt its
-// difficulty with the closed-loop controller of §7. Crypto costs are
-// charged to a modelled CPU (internal/cpumodel) rather than computed, so
-// a 600-second deployment simulates in seconds while preserving the
-// paper's load structure.
+// The server core owns the shared machinery every strategy composes: the
+// queues, the §5 overload latch, the cookie jar, the puzzle engine (with
+// the closed-loop difficulty controller of §7), and the SYN cache; a
+// strategy reaches them only through the narrow defense.ServerCtx facade.
+// Crypto costs are charged to a modelled CPU (internal/cpumodel) rather
+// than computed, so a 600-second deployment simulates in seconds while
+// preserving the paper's load structure.
 //
 // Every rate, queue occupancy, CPU share, and counter is recorded in
 // Metrics as per-bucket series; the figure drivers in

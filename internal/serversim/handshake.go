@@ -1,82 +1,32 @@
 package serversim
 
 import (
-	"github.com/tcppuzzles/tcppuzzles/internal/syncache"
 	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
 	"github.com/tcppuzzles/tcppuzzles/tcpopt"
 )
 
-// onSYN processes a connection request.
+// onSYN counts and parses a connection request, then hands it to the
+// configured defense strategy. The strategy decides between the stateful
+// path (NormalSYN), a stateless reply (cookies, challenges, cache spill),
+// or a drop — see package defense for the registered behaviours.
 func (s *Server) onSYN(seg tcpkit.Segment) {
 	s.metrics.SYNsReceived++
-	peer := tcpkit.PeerOf(seg)
 	mss, wscale := parseSynOptions(seg.Options)
-
-	switch s.cfg.Protection {
-	case ProtectionPuzzles:
-		// Opportunistic controller (§5): challenges engage when a queue
-		// fills and latch until both queues drain below the low-water
-		// mark; per the paper's modification, challenges are sent even
-		// while the accept queue overflows rather than dropping SYNs.
-		// AlwaysChallenge is the ablation that drops the opportunism.
-		if s.protectionActive() {
-			s.sendChallenge(seg)
-			return
-		}
-		s.normalSYN(seg, peer, mss, wscale)
-	case ProtectionCookies:
-		if s.acceptQ.Full() {
-			// Linux drops SYNs outright when the accept queue is full —
-			// the gap that makes cookies ineffective against connection
-			// floods (§6.2).
-			s.metrics.SYNsDropped++
-			return
-		}
-		if s.listenQ.Full() {
-			s.sendCookieSynAck(seg, mss)
-			return
-		}
-		s.normalSYN(seg, peer, mss, wscale)
-	case ProtectionSYNCache:
-		if s.listenQ.Full() {
-			serverISN := s.isns.Next()
-			added := s.cache.Add(&syncache.Entry{
-				Peer:      peer,
-				ClientISN: seg.Seq,
-				ServerISN: serverISN,
-				MSS:       mss,
-				CreatedAt: s.eng.Now(),
-				ExpiresAt: s.eng.Now() + s.cfg.SynAckTimeout,
-			})
-			if !added {
-				s.metrics.SYNsDropped++
-				return
-			}
-			s.metrics.PlainSynAcks.Add(s.eng.Now(), 1)
-			s.send(s.synAck(seg, serverISN, nil))
-			return
-		}
-		s.normalSYN(seg, peer, mss, wscale)
-	default: // ProtectionNone
-		if s.acceptQ.Full() {
-			s.metrics.SYNsDropped++
-			return
-		}
-		s.normalSYN(seg, peer, mss, wscale)
-	}
+	s.defense.OnSYN(s.ctx(), seg, mss, wscale)
 }
 
-// protectionActive implements the challenge controller latch. Protection
-// engages once either queue climbs past its high-water mark (1/16 of
-// capacity — the sysctl-style watermark that bounds how much of the queue
-// an attack can claim before challenges start) and releases only after
-// both queues have stayed below the low-water mark (1/32) for a full
-// ProtectionRelease window. In the kernel implementation equivalent
-// stickiness comes from the flood keeping the listen queue saturated with
-// half-open state for the SYN-ACK retransmission lifetime (Fig. 10); the
-// release window reproduces the ~30 s post-attack recovery the paper
-// measures. See DESIGN.md for the substitution rationale.
-func (s *Server) protectionActive() bool {
+// overloadActive implements the §5 controller latch shared by every
+// defense that keys off queue pressure. It engages once either queue
+// climbs past its high-water mark (1/16 of capacity — the sysctl-style
+// watermark that bounds how much of the queue an attack can claim before
+// the defense reacts) and releases only after both queues have stayed
+// below the low-water mark (1/32) for a full ProtectionRelease window. In
+// the kernel implementation equivalent stickiness comes from the flood
+// keeping the listen queue saturated with half-open state for the SYN-ACK
+// retransmission lifetime (Fig. 10); the release window reproduces the
+// ~30 s post-attack recovery the paper measures. See DESIGN.md for the
+// substitution rationale.
+func (s *Server) overloadActive() bool {
 	if s.cfg.AlwaysChallenge {
 		return true
 	}
@@ -109,7 +59,8 @@ func low(capacity int) int  { return max(capacity/32, 1) }
 
 // normalSYN allocates half-open state and replies SYN-ACK, dropping the SYN
 // when the backlog is exhausted.
-func (s *Server) normalSYN(seg tcpkit.Segment, peer tcpkit.PeerKey, mss uint16, wscale uint8) {
+func (s *Server) normalSYN(seg tcpkit.Segment, mss uint16, wscale uint8) {
+	peer := tcpkit.PeerOf(seg)
 	serverISN := s.isns.Next()
 	half := &tcpkit.HalfOpen{
 		Peer:      peer,
@@ -128,38 +79,6 @@ func (s *Server) normalSYN(seg tcpkit.Segment, peer tcpkit.PeerKey, mss uint16, 
 	s.send(s.synAck(seg, serverISN, nil))
 }
 
-// sendChallenge replies with a stateless SYN-ACK carrying a puzzle. It is
-// sent even when the accept queue overflows (the paper's modified
-// behaviour), so that solving clients can claim slots the moment they open.
-func (s *Server) sendChallenge(seg tcpkit.Segment) {
-	flow := seg.Flow()
-	ch := s.engine.Issue(flow)
-	s.chargeHashes(ch.Params.GenerateHashes())
-	opt, err := tcpopt.EncodeChallenge(ch, true)
-	if err != nil {
-		// Difficulty misconfiguration; account and drop.
-		s.metrics.EncodeFailures++
-		return
-	}
-	opts, err := tcpopt.MarshalOptions([]tcpopt.Option{opt})
-	if err != nil {
-		s.metrics.EncodeFailures++
-		return
-	}
-	s.metrics.ChallengesSent.Add(s.eng.Now(), 1)
-	// The SYN-ACK is stateless: the ISN is reconstructed at ACK time from
-	// the cookie jar so a bare ACK cannot collide with a real half-open.
-	s.send(s.synAck(seg, s.jar.Encode(flow, 0), opts))
-}
-
-// sendCookieSynAck replies with a stateless SYN-cookie SYN-ACK.
-func (s *Server) sendCookieSynAck(seg tcpkit.Segment, mss uint16) {
-	s.chargeHashes(1)
-	cookie := s.jar.Encode(seg.Flow(), mss)
-	s.metrics.CookieSynAcks.Add(s.eng.Now(), 1)
-	s.send(s.synAck(seg, cookie, nil))
-}
-
 // synAck builds a SYN-ACK for a SYN.
 func (s *Server) synAck(syn tcpkit.Segment, serverISN uint32, opts []byte) tcpkit.Segment {
 	if opts == nil {
@@ -175,8 +94,10 @@ func (s *Server) synAck(syn tcpkit.Segment, serverISN uint32, opts []byte) tcpki
 	}
 }
 
-// onACK processes a bare ACK: handshake completion (stateful, cookie, or
-// puzzle path) or data on an established connection.
+// onACK processes a bare ACK: data on an established connection, stateful
+// handshake completion, then whatever stateless completion path the
+// defense strategy provides (cookies, puzzle solutions, cache entries).
+// An ACK no layer claims is RST-answered when it carries data.
 func (s *Server) onACK(seg tcpkit.Segment) {
 	peer := tcpkit.PeerOf(seg)
 
@@ -188,24 +109,13 @@ func (s *Server) onACK(seg tcpkit.Segment) {
 		s.completeStateful(seg, half)
 		return
 	}
-	if s.cfg.Protection == ProtectionSYNCache {
-		if entry, ok := s.cache.Take(peer); ok {
-			s.establish(peer, entry.MSS, false)
-			return
-		}
+	if s.defense.OnACK(s.ctx(), seg) {
+		return
 	}
-
-	switch s.cfg.Protection {
-	case ProtectionPuzzles:
-		s.completePuzzle(seg)
-	case ProtectionCookies:
-		s.completeCookie(seg)
-	default:
-		// No state, no defense path: an ACK for a connection we do not
-		// know. If it carries data the peer was deceived or stale; reset.
-		if seg.PayloadLen > 0 {
-			s.sendRST(seg)
-		}
+	// No state, no defense path: an ACK for a connection we do not
+	// know. If it carries data the peer was deceived or stale; reset.
+	if seg.PayloadLen > 0 {
+		s.sendRST(seg)
 	}
 }
 
@@ -220,79 +130,6 @@ func (s *Server) completeStateful(seg tcpkit.Segment, half *tcpkit.HalfOpen) {
 	}
 	s.listenQ.Remove(peer)
 	s.establish(peer, half.MSS, false)
-}
-
-// completeCookie validates a stateless cookie handshake.
-func (s *Server) completeCookie(seg tcpkit.Segment) {
-	flow := seg.Flow()
-	flow.ISN = seg.Seq - 1 // the client's SYN ISN preceded this ACK
-	s.chargeHashes(1)
-	mss, err := s.jar.Decode(flow, seg.Ack-1)
-	if err != nil {
-		s.metrics.CookieFailures++
-		if seg.PayloadLen > 0 {
-			s.sendRST(seg)
-		}
-		return
-	}
-	if s.acceptQ.Full() {
-		s.metrics.AcceptOverflow++
-		return
-	}
-	s.establish(tcpkit.PeerOf(seg), mss, false)
-	// A data-bearing ACK (cookie + piggybacked request) is processed as
-	// data immediately after establishment.
-	if c, ok := s.conns[tcpkit.PeerOf(seg)]; ok && seg.PayloadLen > 0 {
-		s.onData(c, seg)
-	}
-}
-
-// completePuzzle verifies a puzzle solution carried on the ACK. The order of
-// checks follows §5: when the accept queue is full the ACK is ignored
-// *before* any verification work, deceiving non-compliant senders; a
-// later data packet from such a peer draws an RST.
-func (s *Server) completePuzzle(seg tcpkit.Segment) {
-	opts, err := tcpopt.ParseOptions(seg.Options)
-	if err != nil {
-		s.metrics.SolutionMalformed++
-		return
-	}
-	solOpt, ok := tcpopt.FindOption(opts, tcpopt.KindSolution)
-	if !ok {
-		// Bare ACK without solution while protection is active: the peer
-		// either ignored the challenge (unpatched) or this is stray; it is
-		// silently ignored. Data probes draw an RST (deception reveal).
-		s.metrics.AcksWithoutSolution++
-		if seg.PayloadLen > 0 {
-			s.sendRST(seg)
-		}
-		return
-	}
-	if s.acceptQ.Full() {
-		s.metrics.DeceptionIgnored++
-		return
-	}
-	blk, err := tcpopt.ParseSolution(solOpt, s.engine.Params())
-	if err != nil {
-		s.metrics.SolutionMalformed++
-		return
-	}
-	flow := seg.Flow()
-	flow.ISN = seg.Seq - 1
-	info, err := s.engine.Verify(flow, blk.Solution)
-	s.chargeHashes(float64(info.Hashes))
-	if err != nil {
-		s.metrics.SolutionInvalid++
-		return
-	}
-	peer := tcpkit.PeerOf(seg)
-	if s.acceptQ.Contains(peer) {
-		// Replayed solution: at most one slot per flow (§7).
-		s.metrics.ReplaysBlocked++
-		return
-	}
-	s.metrics.SolutionsVerified++
-	s.establish(peer, blk.MSS, true)
 }
 
 // onRST tears down any established state for the peer.

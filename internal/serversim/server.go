@@ -5,14 +5,20 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/tcppuzzles/tcppuzzles/defense"
 	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
 	"github.com/tcppuzzles/tcppuzzles/internal/netsim"
 	"github.com/tcppuzzles/tcppuzzles/internal/pzengine"
+	"github.com/tcppuzzles/tcppuzzles/internal/srvmetrics"
 	"github.com/tcppuzzles/tcppuzzles/internal/syncache"
 	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
 	"github.com/tcppuzzles/tcppuzzles/syncookie"
 )
+
+// Metrics is the server measurement state (defined in internal/srvmetrics
+// so defense plugins account into it through the ServerCtx facade).
+type Metrics = srvmetrics.Metrics
 
 // conn is a server-side established connection.
 type conn struct {
@@ -32,10 +38,11 @@ type Server struct {
 	net *netsim.Network
 	rnd *rand.Rand
 
-	issuer *puzzle.Issuer
-	engine pzengine.Engine
-	jar    *syncookie.Jar
-	cache  *syncache.Cache
+	issuer  *puzzle.Issuer
+	engine  pzengine.Engine
+	jar     *syncookie.Jar
+	cache   *syncache.Cache
+	defense defense.Defense
 
 	listenQ *tcpkit.ListenQueue
 	acceptQ *tcpkit.AcceptQueue
@@ -51,12 +58,11 @@ type Server struct {
 	metrics *Metrics
 }
 
-// New builds a server on the given engine and network and attaches it.
+// New builds a server on the given engine and network and attaches it. The
+// protection strategy is instantiated from the defense registry by
+// cfg.Defense; unknown names fail with the registered alternatives.
 func New(eng *netsim.Engine, network *netsim.Network, link netsim.LinkConfig, cfg Config) (*Server, error) {
 	cfg.fillDefaults()
-	if err := cfg.PuzzleParams.Validate(); err != nil && cfg.Protection == ProtectionPuzzles {
-		return nil, fmt.Errorf("serversim: %w", err)
-	}
 	s := &Server{
 		cfg:         cfg,
 		eng:         eng,
@@ -66,7 +72,7 @@ func New(eng *netsim.Engine, network *netsim.Network, link netsim.LinkConfig, cf
 		cpu:         cpumodel.NewCPU(cfg.Device, cfg.MetricBucket),
 		workersFree: max(cfg.Workers, 0),
 		conns:       make(map[tcpkit.PeerKey]*conn),
-		metrics:     newMetrics(cfg.MetricBucket),
+		metrics:     srvmetrics.New(cfg.MetricBucket),
 	}
 	simClock := func() time.Time { return time.Unix(0, 0).Add(eng.Now()) }
 	issuer, err := puzzle.NewIssuer(
@@ -91,6 +97,11 @@ func New(eng *netsim.Engine, network *netsim.Network, link netsim.LinkConfig, cf
 	s.acceptQ = tcpkit.NewAcceptQueue(cfg.AcceptBacklog, func(n int) {
 		s.metrics.AcceptLen.Set(eng.Now(), float64(n))
 	})
+	d, err := defense.New(cfg.Defense, s.ctx())
+	if err != nil {
+		return nil, fmt.Errorf("serversim: %w", err)
+	}
+	s.defense = d
 	if err := network.Attach(s, link); err != nil {
 		return nil, fmt.Errorf("serversim: %w", err)
 	}
@@ -103,8 +114,8 @@ func New(eng *netsim.Engine, network *netsim.Network, link netsim.LinkConfig, cf
 }
 
 // scheduleAdapt runs the closed-loop difficulty controller: raise m while
-// the latched protection is still losing accept-queue ground, decay back to
-// the baseline once the attack subsides.
+// the latched overload signal is still losing accept-queue ground, decay
+// back to the baseline once the attack subsides.
 func (s *Server) scheduleAdapt() {
 	s.eng.Schedule(s.cfg.AdaptInterval, func() {
 		p := s.engine.Params()
@@ -139,17 +150,22 @@ func (s *Server) CPU() *cpumodel.CPU { return s.cpu }
 // Issuer exposes the puzzle issuer for runtime retuning (sysctl analogue).
 func (s *Server) Issuer() *puzzle.Issuer { return s.issuer }
 
+// Defense exposes the instantiated protection strategy.
+func (s *Server) Defense() defense.Defense { return s.defense }
+
 // ListenLen and AcceptLen report current queue occupancy.
 func (s *Server) ListenLen() int { return s.listenQ.Len() }
 
 // AcceptLen reports current accept-queue occupancy.
 func (s *Server) AcceptLen() int { return s.acceptQ.Len() }
 
-// scheduleSweep expires half-open state once per second.
+// scheduleSweep expires half-open state once per second and gives the
+// defense strategy its periodic tick.
 func (s *Server) scheduleSweep() {
 	s.eng.Schedule(time.Second, func() {
 		s.listenQ.Expire(s.eng.Now())
 		s.cache.Expire(s.eng.Now())
+		s.defense.OnTick(s.ctx())
 		s.scheduleSweep()
 	})
 }

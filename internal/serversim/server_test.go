@@ -1,6 +1,7 @@
 package serversim
 
 import (
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 	"testing"
 	"time"
 
@@ -82,7 +83,7 @@ func (f *fixture) ack(port uint16, isn, serverISN uint32, opts []byte, payload i
 func (f *fixture) run(d time.Duration) { f.eng.Run(f.eng.Now() + d) }
 
 func TestPlainHandshakeEstablishes(t *testing.T) {
-	f := newFixture(t, Config{Protection: ProtectionNone})
+	f := newFixture(t, Config{Defense: sweep.DefenseNone})
 	f.syn(5000, 100)
 	f.run(100 * time.Millisecond)
 	sa := f.peer.lastSynAck(t)
@@ -100,7 +101,7 @@ func TestPlainHandshakeEstablishes(t *testing.T) {
 }
 
 func TestGettextRequestServed(t *testing.T) {
-	f := newFixture(t, Config{Protection: ProtectionNone})
+	f := newFixture(t, Config{Defense: sweep.DefenseNone})
 	f.syn(5000, 100)
 	f.run(100 * time.Millisecond)
 	sa := f.peer.lastSynAck(t)
@@ -132,7 +133,7 @@ func TestGettextRequestServed(t *testing.T) {
 }
 
 func TestBacklogOverflowDropsSYNs(t *testing.T) {
-	f := newFixture(t, Config{Protection: ProtectionNone, Backlog: 4})
+	f := newFixture(t, Config{Defense: sweep.DefenseNone, Backlog: 4})
 	for i := 0; i < 10; i++ {
 		f.syn(uint16(6000+i), uint32(i))
 		f.run(10 * time.Millisecond)
@@ -147,7 +148,7 @@ func TestBacklogOverflowDropsSYNs(t *testing.T) {
 }
 
 func TestHalfOpenExpiry(t *testing.T) {
-	f := newFixture(t, Config{Protection: ProtectionNone, Backlog: 4, SynAckTimeout: 3 * time.Second})
+	f := newFixture(t, Config{Defense: sweep.DefenseNone, Backlog: 4, SynAckTimeout: 3 * time.Second})
 	f.syn(7000, 1)
 	f.run(time.Second)
 	if f.server.ListenLen() != 1 {
@@ -160,7 +161,7 @@ func TestHalfOpenExpiry(t *testing.T) {
 }
 
 func TestCookiesStatelessWhenFull(t *testing.T) {
-	f := newFixture(t, Config{Protection: ProtectionCookies, Backlog: 1})
+	f := newFixture(t, Config{Defense: sweep.DefenseCookies, Backlog: 1})
 	f.syn(8000, 1)
 	f.run(50 * time.Millisecond)
 	// Queue now full; next SYN gets a cookie SYN-ACK with no state.
@@ -185,7 +186,7 @@ func TestCookiesStatelessWhenFull(t *testing.T) {
 }
 
 func TestCookieForgeryRejected(t *testing.T) {
-	f := newFixture(t, Config{Protection: ProtectionCookies, Backlog: 1})
+	f := newFixture(t, Config{Defense: sweep.DefenseCookies, Backlog: 1})
 	f.syn(8000, 1)
 	f.run(50 * time.Millisecond)
 	// Forge an ACK with a made-up cookie.
@@ -201,7 +202,7 @@ func TestCookieForgeryRejected(t *testing.T) {
 
 func puzzleCfg(sim bool) Config {
 	return Config{
-		Protection:      ProtectionPuzzles,
+		Defense:         sweep.DefensePuzzles,
 		Backlog:         1,
 		PuzzleParams:    puzzle.Params{K: 2, M: 4, L: 32},
 		SimulatedCrypto: sim,
@@ -498,7 +499,7 @@ func TestSimEngineAcceptsSimSolutions(t *testing.T) {
 }
 
 func TestWorkerPoolPinnedByIdleConnections(t *testing.T) {
-	cfg := Config{Protection: ProtectionNone, Workers: 2, IdleTimeout: 3 * time.Second}
+	cfg := Config{Defense: sweep.DefenseNone, Workers: 2, IdleTimeout: 3 * time.Second}
 	f := newFixture(t, cfg)
 	for i := 0; i < 2; i++ {
 		port := uint16(9200 + i)

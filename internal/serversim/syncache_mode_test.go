@@ -1,12 +1,13 @@
 package serversim
 
 import (
+	"github.com/tcppuzzles/tcppuzzles/sweep"
 	"testing"
 	"time"
 )
 
 func TestSYNCacheExtendsBacklog(t *testing.T) {
-	f := newFixture(t, Config{Protection: ProtectionSYNCache, Backlog: 2})
+	f := newFixture(t, Config{Defense: sweep.DefenseSYNCache, Backlog: 2})
 	// Four SYNs: two fill the listen queue, two spill into the cache.
 	for i := 0; i < 4; i++ {
 		f.syn(uint16(7100+i), uint32(i))
@@ -36,7 +37,7 @@ func TestSYNCacheExtendsBacklog(t *testing.T) {
 }
 
 func TestSYNCacheEventuallyOverflows(t *testing.T) {
-	f := newFixture(t, Config{Protection: ProtectionSYNCache, Backlog: 2})
+	f := newFixture(t, Config{Defense: sweep.DefenseSYNCache, Backlog: 2})
 	// Cache capacity is 4× backlog = 8; with the 2-slot listen queue a
 	// total of 10 half-opens fit.
 	for i := 0; i < 20; i++ {

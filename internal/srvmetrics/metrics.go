@@ -1,4 +1,9 @@
-package serversim
+// Package srvmetrics holds the protected server's measurement state. It
+// lives below both the server simulator and the defense plugin API: core
+// server code (internal/serversim) and registered defense strategies
+// (package defense) account into the same Metrics through the ServerCtx
+// facade, so a plugin's counters land in the same figures the paper draws.
+package srvmetrics
 
 import (
 	"time"
@@ -50,7 +55,8 @@ type Metrics struct {
 	bucket time.Duration
 }
 
-func newMetrics(bucket time.Duration) *Metrics {
+// New returns an empty Metrics with the given bucket width.
+func New(bucket time.Duration) *Metrics {
 	return &Metrics{
 		BytesIn:          stats.NewSeries(bucket),
 		BytesOut:         stats.NewSeries(bucket),
@@ -63,7 +69,8 @@ func newMetrics(bucket time.Duration) *Metrics {
 	}
 }
 
-func (m *Metrics) recordEstablished(at time.Duration, peer tcpkit.PeerKey) {
+// RecordEstablished accounts one completed handshake, total and per source.
+func (m *Metrics) RecordEstablished(at time.Duration, peer tcpkit.PeerKey) {
 	m.Established.Add(at, 1)
 	srcSeries, ok := m.EstablishedBySrc[peer.IP]
 	if !ok {

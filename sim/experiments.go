@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"time"
 
@@ -92,6 +93,15 @@ func WithSinks(sinks ...sweep.Sink) RunOption {
 // Hits/Misses counters make the skips observable).
 func WithCache(c *sweep.Cache) RunOption {
 	return func(s *experiments.Scale) { s.Cache = c }
+}
+
+// WithDebug streams execution observability to w as cells complete:
+// per-cell shard load balance (per-shard event counts, window count,
+// barrier waits) and per-grid runner-pool backpressure (local claims,
+// steals, failed steal scans, mean queue depth). Purely observational —
+// results, sinks, and the cache never see it.
+func WithDebug(w io.Writer) RunOption {
+	return func(s *experiments.Scale) { s.Debug = w }
 }
 
 // registry is the single source of truth for the available experiments:

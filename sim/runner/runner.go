@@ -20,6 +20,31 @@ import (
 	"sync/atomic"
 )
 
+// Stats describes how one Map/ForEach call executed — the pool's
+// backpressure signals for tuning worker counts on big machines. All
+// numbers are observational: they vary run to run with goroutine
+// scheduling and never feed back into results.
+type Stats struct {
+	// Workers is the effective pool width (after clamping to the job
+	// count).
+	Workers int
+	// Jobs is the number of jobs claimed (equals n unless a failure
+	// stopped the pool early).
+	Jobs int64
+	// LocalClaims counts jobs a worker popped from its own shard;
+	// Steals counts jobs claimed from another worker's shard. A high
+	// steal share means the static split mismatched per-job cost.
+	LocalClaims int64
+	Steals      int64
+	// FailedStealScans counts scans of the victim table that claimed
+	// nothing (the pool draining, or races lost) — idle pressure.
+	FailedStealScans int64
+	// MeanQueueDepth is the mean number of unclaimed jobs observed at
+	// each claim: how much runway the pool had, on average, when a
+	// worker came back for work.
+	MeanQueueDepth float64
+}
+
 // Map runs fn(i) for every i in [0, n) on a work-stealing pool of the
 // given width and returns the results ordered by index. workers <= 0
 // selects runtime.GOMAXPROCS(0). fn must be safe for concurrent use and
@@ -31,8 +56,14 @@ import (
 // worker count — job validity is a function of the inputs alone — but
 // when several jobs are invalid, which one is reported may.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	results, _, err := MapStats(workers, n, fn)
+	return results, err
+}
+
+// MapStats is Map plus the pool's execution statistics.
+func MapStats[T any](workers, n int, fn func(i int) (T, error)) ([]T, Stats, error) {
 	if n <= 0 {
-		return nil, nil
+		return nil, Stats{}, nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -44,13 +75,22 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	errs := make([]error, n)
 	if workers == 1 {
 		// Fast path: no goroutines, no synchronisation.
+		stats := Stats{Workers: 1}
+		var depthSum int64
 		for i := 0; i < n; i++ {
+			stats.Jobs++
+			stats.LocalClaims++
+			depthSum += int64(n - i - 1)
 			results[i], errs[i] = fn(i)
 			if errs[i] != nil {
 				break
 			}
 		}
-		return finish(results, errs)
+		if stats.Jobs > 0 {
+			stats.MeanQueueDepth = float64(depthSum) / float64(stats.Jobs)
+		}
+		res, err := finish(results, errs)
+		return res, stats, err
 	}
 
 	queues := newDeques(workers, n)
@@ -72,7 +112,8 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		}(w)
 	}
 	wg.Wait()
-	return finish(results, errs)
+	res, err := finish(results, errs)
+	return res, queues.stats(workers), err
 }
 
 // ForEach is Map for jobs with no result value.
@@ -81,6 +122,14 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		return struct{}{}, fn(i)
 	})
 	return err
+}
+
+// ForEachStats is ForEach plus the pool's execution statistics.
+func ForEachStats(workers, n int, fn func(i int) error) (Stats, error) {
+	_, stats, err := MapStats(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return stats, err
 }
 
 // finish returns the results, or the error of the lowest failing index.
@@ -105,6 +154,27 @@ type deques struct {
 	// failed halts further claims once any job errors, so an invalid
 	// grid cell doesn't cost the rest of the grid's simulation time.
 	failed atomic.Bool
+
+	// Backpressure accounting (see Stats).
+	localClaims atomic.Int64
+	steals      atomic.Int64
+	failedScans atomic.Int64
+	depthSum    atomic.Int64
+}
+
+// stats snapshots the pool's execution counters after the workers drain.
+func (d *deques) stats(workers int) Stats {
+	s := Stats{
+		Workers:          workers,
+		LocalClaims:      d.localClaims.Load(),
+		Steals:           d.steals.Load(),
+		FailedStealScans: d.failedScans.Load(),
+	}
+	s.Jobs = s.LocalClaims + s.Steals
+	if s.Jobs > 0 {
+		s.MeanQueueDepth = float64(d.depthSum.Load()) / float64(s.Jobs)
+	}
+	return s
 }
 
 type shard struct {
@@ -135,7 +205,8 @@ func (d *deques) next(self int) (int, bool) {
 		return 0, false
 	}
 	if i, ok := d.shards[self].popBottom(); ok {
-		d.remaining.Add(-1)
+		d.depthSum.Add(d.remaining.Add(-1))
+		d.localClaims.Add(1)
 		return i, true
 	}
 	for d.remaining.Load() > 0 {
@@ -149,13 +220,16 @@ func (d *deques) next(self int) (int, bool) {
 			}
 		}
 		if victim < 0 {
+			d.failedScans.Add(1)
 			return 0, false
 		}
 		if i, ok := d.shards[victim].popTop(); ok {
-			d.remaining.Add(-1)
+			d.depthSum.Add(d.remaining.Add(-1))
+			d.steals.Add(1)
 			return i, true
 		}
 		// Lost the race for that victim; rescan while work remains.
+		d.failedScans.Add(1)
 	}
 	return 0, false
 }

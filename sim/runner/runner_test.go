@@ -155,3 +155,58 @@ func TestMapParallelSpeedup(t *testing.T) {
 		t.Errorf("workers=4 took %v vs workers=1 %v; want clear speedup", parallel, serial)
 	}
 }
+
+func TestMapStatsAccountsEveryClaim(t *testing.T) {
+	const n = 64
+	_, stats, err := MapStats(4, n, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 4 {
+		t.Errorf("Workers = %d, want 4", stats.Workers)
+	}
+	if stats.Jobs != n {
+		t.Errorf("Jobs = %d, want %d", stats.Jobs, n)
+	}
+	if stats.LocalClaims+stats.Steals != stats.Jobs {
+		t.Errorf("LocalClaims(%d) + Steals(%d) != Jobs(%d)",
+			stats.LocalClaims, stats.Steals, stats.Jobs)
+	}
+	// Each claim samples the remaining queue; the mean over a full drain
+	// of n jobs is (n-1)/2 regardless of claim interleaving.
+	if want := float64(n-1) / 2; stats.MeanQueueDepth != want {
+		t.Errorf("MeanQueueDepth = %v, want %v", stats.MeanQueueDepth, want)
+	}
+}
+
+func TestMapStatsSerialFastPath(t *testing.T) {
+	_, stats, err := MapStats(1, 10, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Workers != 1 || stats.Jobs != 10 || stats.LocalClaims != 10 || stats.Steals != 0 {
+		t.Errorf("serial stats = %+v", stats)
+	}
+	if stats.MeanQueueDepth != 4.5 {
+		t.Errorf("MeanQueueDepth = %v, want 4.5", stats.MeanQueueDepth)
+	}
+}
+
+func TestMapStatsCountsSteals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	// Skew all the cost into worker 0's shard: the others must steal.
+	_, stats, err := MapStats(4, 16, func(i int) (int, error) {
+		if i < 4 {
+			time.Sleep(30 * time.Millisecond)
+		}
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steals == 0 {
+		t.Errorf("no steals recorded under skewed load: %+v", stats)
+	}
+}

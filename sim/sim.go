@@ -22,24 +22,28 @@ import (
 // default (puzzles); DefenseNone is always honoured.
 type Defense = experiments.Defense
 
-// Supported defenses.
+// Supported defenses. DefenseInfos lists everything in the registry,
+// including plugins registered outside this package.
 const (
-	DefenseNone     = experiments.DefenseNone
-	DefenseCookies  = experiments.DefenseCookies
-	DefenseSYNCache = experiments.DefenseSYNCache
-	DefensePuzzles  = experiments.DefensePuzzles
+	DefenseNone      = experiments.DefenseNone
+	DefenseCookies   = experiments.DefenseCookies
+	DefenseSYNCache  = experiments.DefenseSYNCache
+	DefensePuzzles   = experiments.DefensePuzzles
+	DefenseHybrid    = experiments.DefenseHybrid
+	DefenseRateLimit = experiments.DefenseRateLimit
 )
 
 // Attack selects the botnet behaviour. The empty string selects the
 // default (a connection flood).
 type Attack = experiments.Attack
 
-// Supported attacks.
+// Supported attacks. AttackInfos lists everything in the registry.
 const (
 	AttackSYNFlood      = experiments.AttackSYNFlood
 	AttackConnFlood     = experiments.AttackConnFlood
 	AttackSolutionFlood = experiments.AttackSolutionFlood
 	AttackReplayFlood   = experiments.AttackReplayFlood
+	AttackPulseFlood    = experiments.AttackPulseFlood
 )
 
 // NoBotnet as a Scenario.BotCount disables the botnet entirely.

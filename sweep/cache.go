@@ -33,6 +33,13 @@ const hashVersion = "tcppuzzles-sweep-v2"
 // skipped besides). The sharded engine produces byte-identical results at
 // every shard count, so a cell computed at -shards 8 must hit for a rerun
 // at -shards 1 — the same argument that keeps runner width out of the key.
+//
+// Registered strategy fingerprints extend the key: a defense or attack
+// plugin with a non-empty fingerprint (see RegisterDefenseFingerprint)
+// appends it after the canonical scenario, so new plugins mint new cache
+// identities and invalidate themselves by bumping the fingerprint. The
+// paper's four defenses and four floods register none, keeping their
+// hashes byte-for-byte what they were before the plugin registry existed.
 func Hash(experiment string, sc Scenario) string {
 	canonicalScenario := sc.Defaults()
 	canonicalScenario.Shards = 0
@@ -46,6 +53,12 @@ func Hash(experiment string, sc Scenario) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s\n%s\n", hashVersion, experiment)
 	h.Write(canonical)
+	if fp := DefenseFingerprint(canonicalScenario.Defense); fp != "" {
+		fmt.Fprintf(h, "\ndefense-fingerprint: %s", fp)
+	}
+	if fp := AttackFingerprint(canonicalScenario.Attack); fp != "" {
+		fmt.Fprintf(h, "\nattack-fingerprint: %s", fp)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

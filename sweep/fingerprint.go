@@ -1,0 +1,66 @@
+package sweep
+
+import "sync"
+
+// Strategy fingerprints fold a registered defense/attack plugin's identity
+// into the result-cache hash (see Hash). The four paper defenses and four
+// paper floods register no fingerprint: their identity is fully captured by
+// the canonical Scenario, which keeps every pre-existing cache hash stable
+// across the plugin-registry refactor. New plugins register a non-empty
+// fingerprint — typically "name/v1 <behaviour summary>" — giving their
+// cells a distinct cache identity, and bumping the fingerprint when the
+// plugin's behaviour changes safely turns that plugin's stale cache entries
+// into misses without touching anyone else's.
+//
+// Invariant: a binary that computes hashes for strategy-plugin scenarios
+// must link the registries that declare those fingerprints (importing
+// sim, internal/experiments, or the defense/attack packages does this
+// transitively — anything that can actually *run* a scenario qualifies).
+// A hash computed without the registration linked falls back to the
+// legacy, fingerprint-free form and will not match a registry-linked
+// binary's key for the same cell.
+var (
+	fpMu       sync.RWMutex
+	defenseFPs = map[Defense]string{}
+	attackFPs  = map[Attack]string{}
+)
+
+// RegisterDefenseFingerprint records a defense plugin's cache fingerprint.
+// Empty fingerprints are ignored (legacy identity). Called by the defense
+// registry at plugin registration; the last registration wins.
+func RegisterDefenseFingerprint(name Defense, fp string) {
+	if fp == "" {
+		return
+	}
+	fpMu.Lock()
+	defer fpMu.Unlock()
+	defenseFPs[name] = fp
+}
+
+// RegisterAttackFingerprint records an attack plugin's cache fingerprint.
+// Empty fingerprints are ignored (legacy identity). Called by the attack
+// registry at plugin registration; the last registration wins.
+func RegisterAttackFingerprint(name Attack, fp string) {
+	if fp == "" {
+		return
+	}
+	fpMu.Lock()
+	defer fpMu.Unlock()
+	attackFPs[name] = fp
+}
+
+// DefenseFingerprint returns the registered fingerprint for a defense, or
+// "" when the defense's identity is the Scenario alone.
+func DefenseFingerprint(name Defense) string {
+	fpMu.RLock()
+	defer fpMu.RUnlock()
+	return defenseFPs[name]
+}
+
+// AttackFingerprint returns the registered fingerprint for an attack, or
+// "" when the attack's identity is the Scenario alone.
+func AttackFingerprint(name Attack) string {
+	fpMu.RLock()
+	defer fpMu.RUnlock()
+	return attackFPs[name]
+}

@@ -1,0 +1,164 @@
+package sweep
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+)
+
+// FoldSeeds aggregates replicated designs: results whose canonical
+// scenarios are identical up to the Seed (and any "seed=…" label part the
+// Seeds axis appended) fold into one Result carrying, for every metric of
+// the replicates, its mean and sample standard deviation, plus a
+// "replicates" count; series fold into their pointwise mean. Groups keep
+// first-appearance order and unreplicated cells simply fold to themselves
+// (stddev 0), so a grid without a Seeds axis passes through unchanged in
+// shape. The folded Scenario carries Seed 0 — no single seed describes an
+// aggregate — and the seed-stripped label.
+func FoldSeeds(results []Result) []Result {
+	type group struct {
+		out   Result
+		n     float64
+		sum   map[string]float64
+		sumSq map[string]float64
+		// seriesSum accumulates pointwise sums; seriesN counts per-point
+		// contributions so replicates of different lengths average over
+		// the replicates that actually reached each bucket.
+		seriesSum map[string][]float64
+		seriesN   map[string][]float64
+	}
+	var order []string
+	groups := map[string]*group{}
+
+	for _, r := range results {
+		sc := r.Scenario
+		sc.Seed = 0
+		sc.Label = stripSeedLabel(sc.Label)
+		keyBytes, err := json.Marshal(sc)
+		if err != nil {
+			// Scenario is a plain struct; Marshal cannot fail. Group by
+			// label if it ever does rather than dropping the result.
+			keyBytes = []byte(sc.Label)
+		}
+		key := r.Experiment + "\x00" + string(keyBytes)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{
+				out:       Result{Experiment: r.Experiment, Scenario: sc},
+				sum:       map[string]float64{},
+				sumSq:     map[string]float64{},
+				seriesSum: map[string][]float64{},
+				seriesN:   map[string][]float64{},
+			}
+			// Pin metric and series order from the first replicate.
+			for _, m := range r.Metrics {
+				g.out.Metrics = append(g.out.Metrics, Metric{Name: m.Name})
+			}
+			for _, s := range r.Series {
+				g.out.Series = append(g.out.Series, Series{Name: s.Name})
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.n++
+		for _, m := range r.Metrics {
+			g.sum[m.Name] += m.Value
+			g.sumSq[m.Name] += m.Value * m.Value
+		}
+		for _, s := range r.Series {
+			acc, cnt := g.seriesSum[s.Name], g.seriesN[s.Name]
+			for i, v := range s.Values {
+				if i >= len(acc) {
+					acc = append(acc, 0)
+					cnt = append(cnt, 0)
+				}
+				acc[i] += v
+				cnt[i]++
+			}
+			g.seriesSum[s.Name], g.seriesN[s.Name] = acc, cnt
+		}
+	}
+
+	out := make([]Result, 0, len(order))
+	for _, key := range order {
+		g := groups[key]
+		metrics := []Metric{{Name: "replicates", Value: g.n}}
+		for _, m := range g.out.Metrics {
+			mean := g.sum[m.Name] / g.n
+			var stddev float64
+			if g.n > 1 {
+				// Sample variance; clamp the tiny negatives float
+				// cancellation can leave behind.
+				v := (g.sumSq[m.Name] - g.n*mean*mean) / (g.n - 1)
+				if v > 0 {
+					stddev = math.Sqrt(v)
+				}
+			}
+			metrics = append(metrics,
+				Metric{Name: m.Name + "_mean", Value: mean},
+				Metric{Name: m.Name + "_stddev", Value: stddev})
+		}
+		g.out.Metrics = metrics
+		for i := range g.out.Series {
+			name := g.out.Series[i].Name
+			acc, cnt := g.seriesSum[name], g.seriesN[name]
+			mean := make([]float64, len(acc))
+			for j, v := range acc {
+				mean[j] = v / cnt[j]
+			}
+			g.out.Series[i] = Series{Name: name + "_mean", Values: mean}
+		}
+		out = append(out, g.out)
+	}
+	return out
+}
+
+// stripSeedLabel removes the "seed=…" parts a Seeds axis appends to cell
+// labels, so replicates share the folded label.
+func stripSeedLabel(label string) string {
+	if label == "" {
+		return ""
+	}
+	parts := strings.Split(label, "/")
+	kept := parts[:0]
+	for _, part := range parts {
+		if strings.HasPrefix(part, "seed=") {
+			continue
+		}
+		kept = append(kept, part)
+	}
+	return strings.Join(kept, "/")
+}
+
+// ReplicateSink folds the Seeds axis on the way out: it buffers every
+// Result and, on Flush, writes the FoldSeeds aggregation to the inner
+// sink. Wrap any CSV/NDJSON/table sink to get mean/stddev rows instead of
+// one row per seed (tcpz-exp -fold-seeds).
+type ReplicateSink struct {
+	inner Sink
+	buf   []Result
+}
+
+// NewReplicate wraps a sink with seed folding.
+func NewReplicate(inner Sink) *ReplicateSink {
+	return &ReplicateSink{inner: inner}
+}
+
+// Write buffers the result until Flush folds the replicates.
+func (s *ReplicateSink) Write(r Result) error {
+	s.buf = append(s.buf, r)
+	return nil
+}
+
+// Flush folds the buffered results, writes the aggregates to the inner
+// sink, and flushes it.
+func (s *ReplicateSink) Flush() error {
+	folded := FoldSeeds(s.buf)
+	s.buf = nil
+	for _, r := range folded {
+		if err := s.inner.Write(r); err != nil {
+			return err
+		}
+	}
+	return s.inner.Flush()
+}

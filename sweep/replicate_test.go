@@ -1,0 +1,112 @@
+package sweep
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func replicateFixture() []Result {
+	mk := func(seed int64, label string, v, w float64, series ...float64) Result {
+		return Result{
+			Experiment: "exp",
+			Scenario:   Scenario{Label: label, Seed: seed}.Defaults(),
+			Metrics:    []Metric{{Name: "m1", Value: v}, {Name: "m2", Value: w}},
+			Series:     []Series{{Name: "s", Values: series}},
+		}
+	}
+	return []Result{
+		mk(1, "cell-a/seed=1", 10, 4, 1, 2),
+		mk(2, "cell-a/seed=2", 14, 4, 3, 4),
+		mk(3, "cell-a/seed=3", 18, 4, 5, 6),
+		mk(9, "cell-b/seed=9", 7, 0, 10),
+	}
+}
+
+func TestFoldSeedsMeanAndStddev(t *testing.T) {
+	folded := FoldSeeds(replicateFixture())
+	if len(folded) != 2 {
+		t.Fatalf("folded groups = %d, want 2", len(folded))
+	}
+	a := folded[0]
+	if a.Scenario.Label != "cell-a" {
+		t.Errorf("label = %q, want cell-a (seed part stripped)", a.Scenario.Label)
+	}
+	if a.Scenario.Seed != 0 {
+		t.Errorf("folded seed = %d, want 0", a.Scenario.Seed)
+	}
+	if got := a.Metric("replicates"); got != 3 {
+		t.Errorf("replicates = %v, want 3", got)
+	}
+	if got := a.Metric("m1_mean"); got != 14 {
+		t.Errorf("m1_mean = %v, want 14", got)
+	}
+	if got := a.Metric("m1_stddev"); math.Abs(got-4) > 1e-9 {
+		t.Errorf("m1_stddev = %v, want 4 (sample stddev of 10,14,18)", got)
+	}
+	if got := a.Metric("m2_stddev"); got != 0 {
+		t.Errorf("m2_stddev = %v, want 0 for constant metric", got)
+	}
+	s := a.SeriesValues("s_mean")
+	if len(s) != 2 || s[0] != 3 || s[1] != 4 {
+		t.Errorf("s_mean = %v, want [3 4]", s)
+	}
+	// A single replicate folds to itself with zero spread.
+	b := folded[1]
+	if got := b.Metric("replicates"); got != 1 {
+		t.Errorf("cell-b replicates = %v, want 1", got)
+	}
+	if got := b.Metric("m1_stddev"); got != 0 {
+		t.Errorf("single-replicate stddev = %v, want 0", got)
+	}
+}
+
+// Replicates distinguished by anything other than the seed must not fold
+// together.
+func TestFoldSeedsKeepsDistinctCellsApart(t *testing.T) {
+	rs := replicateFixture()
+	other := rs[0]
+	other.Scenario.PerBotRate = 999
+	other.Scenario.Label = "cell-a/seed=4"
+	other.Scenario.Seed = 4
+	folded := FoldSeeds(append(rs, other))
+	if len(folded) != 3 {
+		t.Fatalf("folded groups = %d, want 3 (rate change is a new cell)", len(folded))
+	}
+}
+
+func TestReplicateSinkFoldsOnFlush(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewReplicate(NewCSV(&buf))
+	for _, r := range replicateFixture() {
+		if err := sink.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatal("ReplicateSink wrote before Flush")
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "m1_mean") || !strings.Contains(out, "m1_stddev") {
+		t.Errorf("folded CSV missing mean/stddev rows:\n%s", out)
+	}
+	if strings.Contains(out, "seed=1") {
+		t.Errorf("folded CSV still carries per-seed labels:\n%s", out)
+	}
+	// 2 groups × (1 replicates + 2 metrics × 2 stats) rows + header.
+	if lines := strings.Count(out, "\n"); lines != 11 {
+		t.Errorf("folded CSV has %d rows, want 11:\n%s", lines, out)
+	}
+	// A second Flush is a no-op for the buffer (nothing re-folded).
+	before := buf.Len()
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("second Flush: %v", err)
+	}
+	if buf.Len() != before {
+		t.Error("second Flush re-emitted rows")
+	}
+}

@@ -17,6 +17,21 @@ type Series struct {
 	Values []float64 `json:"values"`
 }
 
+// ExecStats describes how the runner pool executed the grid a Result
+// belongs to (worker-pool backpressure: claim/steal counts and mean queue
+// depth). It is per-process observability only: excluded from
+// serialisation, the result cache, and determinism comparisons, because
+// goroutine scheduling makes it vary run to run while the Result's
+// metrics and series never do.
+type ExecStats struct {
+	Workers          int
+	Jobs             int64
+	LocalClaims      int64
+	Steals           int64
+	FailedStealScans int64
+	MeanQueueDepth   float64
+}
+
 // Result is the structured record of one completed grid cell: the
 // canonical scenario that ran plus its named metrics and series. It is
 // the primary representation of experiment output — sinks serialise it,
@@ -32,6 +47,10 @@ type Result struct {
 	Metrics []Metric `json:"metrics"`
 	// Series are per-bucket traces; CSV sinks skip them, NDJSON keeps them.
 	Series []Series `json:"series,omitempty"`
+	// Exec reports how the runner pool executed this cell's grid —
+	// shared by every Result of the grid. Advisory only; json-skipped so
+	// sink output stays byte-identical at every worker count.
+	Exec *ExecStats `json:"-"`
 }
 
 // Metric returns the named scalar, or 0 when absent. Use Lookup to

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"io"
 	"time"
 
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
@@ -11,25 +12,61 @@ import (
 // is always honoured, so no configuration is unreachable by defaulting.
 type Defense string
 
-// Supported defenses.
+// Supported defenses. The first four are the paper's comparison set
+// (§5, §6.2); the rest are registered plugins built purely on the
+// defense-strategy API (see package defense).
 const (
 	DefenseNone     Defense = "none"
 	DefenseCookies  Defense = "cookies"
 	DefenseSYNCache Defense = "syncache"
 	DefensePuzzles  Defense = "puzzles"
+	// DefenseHybrid serves SYN cookies under listen-queue pressure and
+	// escalates to client puzzles once the accept queue comes under
+	// attack — the gap cookies cannot cover (§6.2).
+	DefenseHybrid Defense = "hybrid"
+	// DefenseRateLimit is a probabilistic RED-style SYN admission
+	// baseline: above the high watermark each SYN is dropped with a
+	// probability that rises linearly with listen-queue occupancy.
+	DefenseRateLimit Defense = "ratelimit"
 )
+
+// KnownDefenses lists every Defense value this module ships a plugin for,
+// in canonical order. The registry-completeness test asserts each resolves
+// to a registered plugin (and vice versa).
+func KnownDefenses() []Defense {
+	return []Defense{
+		DefenseNone, DefenseCookies, DefenseSYNCache, DefensePuzzles,
+		DefenseHybrid, DefenseRateLimit,
+	}
+}
 
 // Attack selects the botnet behaviour. The empty string selects the
 // paper's default (a connection flood).
 type Attack string
 
-// Supported attacks.
+// Supported attacks. The first four are the paper's flood behaviours; the
+// rest are registered plugins built purely on the attack-strategy API (see
+// package attack).
 const (
 	AttackSYNFlood      Attack = "synflood"
 	AttackConnFlood     Attack = "connflood"
 	AttackSolutionFlood Attack = "solutionflood"
 	AttackReplayFlood   Attack = "replayflood"
+	// AttackPulseFlood is a spoofed SYN flood fired in on/off bursts,
+	// probing the challenge controller's engage/release latch instead of
+	// applying constant pressure.
+	AttackPulseFlood Attack = "pulseflood"
 )
+
+// KnownAttacks lists every Attack value this module ships a plugin for, in
+// canonical order. The registry-completeness test asserts each resolves to
+// a registered plugin (and vice versa).
+func KnownAttacks() []Attack {
+	return []Attack{
+		AttackSYNFlood, AttackConnFlood, AttackSolutionFlood,
+		AttackReplayFlood, AttackPulseFlood,
+	}
+}
 
 // NoBotnet as a Scenario.BotCount disables the botnet entirely. (Zero
 // means "default", so opting out needs an explicit sentinel.)
@@ -200,6 +237,11 @@ type Scale struct {
 	// Cache short-circuits cells whose canonical scenario hash is already
 	// stored. Nil disables caching.
 	Cache *Cache
+	// Debug, when non-nil, receives execution observability lines as
+	// cells complete: per-cell shard load balance (event counts, barrier
+	// waits) and per-grid runner-pool backpressure (steal counts, queue
+	// depth). Purely observational — never written to sinks or cache.
+	Debug io.Writer
 }
 
 // Apply overrides the scenario's deployment-size knobs with the scale's.
