@@ -1,0 +1,38 @@
+# Development entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); nothing here is required to build.
+
+GO ?= go
+# Repeat each benchmark COUNT times so `benchstat old.txt new.txt` has
+# samples to test significance on (benchstat wants >= 10 for tight CIs).
+COUNT ?= 10
+
+.PHONY: build test race bench bench-smoke bench-engine fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# Full microbench sweep, benchstat-ready:
+#   make bench > new.txt            # on your branch
+#   git stash && make bench > old.txt && git stash pop
+#   benchstat old.txt new.txt
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -count $(COUNT) ./...
+
+# The event-engine hot path only (the BENCH_engine.json numbers).
+bench-engine:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineScheduling|BenchmarkPacketPath' -benchmem -count $(COUNT) ./internal/netsim/
+
+# One iteration of every benchmark — the CI rot guard.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzChallengeRoundTrip -fuzztime=10s ./tcpopt
+	$(GO) test -fuzz=FuzzCookieRoundTrip -fuzztime=10s ./syncookie
+	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=10s ./puzzlenet

@@ -9,6 +9,11 @@
 //	tcpz-profile -alpha 1.1      # also compute (k*, m*)
 //	tcpz-profile -budget 400ms -duration 2s
 //	tcpz-profile -cores 8        # aggregate rate across 8 cores
+//
+// The -cpuprofile, -memprofile and -trace flags wrap the whole run in the
+// standard pprof/trace collectors, so the hash loop — or anything layered
+// on top of it — can be inspected with `go tool pprof` / `go tool trace`
+// without editing code.
 package main
 
 import (
@@ -18,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"github.com/tcppuzzles/tcppuzzles/game"
@@ -37,11 +44,51 @@ func run(args []string) error {
 	budget := fs.Duration("budget", 400*time.Millisecond, "handshake usability budget")
 	alpha := fs.Float64("alpha", 1.1, "server service parameter α (from a stress test)")
 	cores := fs.Int("cores", 1, "measure this many cores in parallel (a solver uses one)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	traceFile := fs.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *cores < 1 {
 		*cores = 1
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			// Capture live objects at exit; GC first so the numbers mean
+			// retained, not garbage.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "tcpz-profile: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	if max := runtime.GOMAXPROCS(0); *cores > max {
 		// More busy-loop goroutines than cores would time-share and

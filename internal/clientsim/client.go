@@ -113,8 +113,8 @@ type cconn struct {
 	isn       uint32
 	state     connState
 	startedAt time.Duration
-	rtoEv     *netsim.Event
-	respEv    *netsim.Event
+	rtoEv     netsim.Timer
+	respEv    netsim.Timer
 	rtoIdx    int
 	gotBytes  int
 	wantBytes int
@@ -301,10 +301,8 @@ func (c *Client) onSynAck(cc *cconn, seg tcpkit.Segment) {
 	if cc.state != stateSynSent {
 		return // duplicate
 	}
-	if cc.rtoEv != nil {
-		cc.rtoEv.Cancel()
-		cc.rtoEv = nil
-	}
+	cc.rtoEv.Cancel()
+	cc.rtoEv = netsim.Timer{}
 	serverISN := seg.Seq
 	opts, err := tcpopt.ParseOptions(seg.Options)
 	if err != nil {
@@ -408,9 +406,7 @@ func (c *Client) onData(cc *cconn, seg tcpkit.Segment) {
 	c.metrics.BytesIn.Add(c.eng.Now(), float64(seg.WireSize()))
 	if cc.gotBytes >= cc.wantBytes {
 		cc.state = stateDone
-		if cc.respEv != nil {
-			cc.respEv.Cancel()
-		}
+		cc.respEv.Cancel()
 		c.metrics.Completed++
 		c.metrics.Successes.Add(c.eng.Now(), 1)
 		delete(c.conns, cc.port)
@@ -422,12 +418,8 @@ func (c *Client) fail(cc *cconn) {
 		return
 	}
 	cc.state = stateDone
-	if cc.rtoEv != nil {
-		cc.rtoEv.Cancel()
-	}
-	if cc.respEv != nil {
-		cc.respEv.Cancel()
-	}
+	cc.rtoEv.Cancel()
+	cc.respEv.Cancel()
 	c.metrics.Failed++
 	c.metrics.Failures.Add(c.eng.Now(), 1)
 	delete(c.conns, cc.port)

@@ -116,11 +116,14 @@ func runFloodCells(scale Scale, experiment, cacheNS string, cells []Scenario,
 		}
 		if scale.Debug != nil {
 			// Per-cell shard load balance: event counts show placement
-			// skew, barrier waits show which shards idled at windows.
+			// skew, barrier waits show which shards idled at windows, and
+			// the min/mean/max applied window widths make the adaptive
+			// per-pair lookahead observable (mean above min = widening).
 			st := run.Net.ShardStats()
 			debugMu.Lock()
-			fmt.Fprintf(scale.Debug, "[%s] cell %q: shards=%d events=%v windows=%d barrier-wait=%v\n",
-				experiment, sc.Label, run.Net.Shards(), st.Events, st.Windows, st.BarrierWait)
+			fmt.Fprintf(scale.Debug, "[%s] cell %q: shards=%d events=%v windows=%d barrier-wait=%v lookahead=%v/%v/%v\n",
+				experiment, sc.Label, run.Net.Shards(), st.Events, st.Windows, st.BarrierWait,
+				st.LookaheadMin, st.LookaheadMean, st.LookaheadMax)
 			debugMu.Unlock()
 		}
 		runs[i] = run

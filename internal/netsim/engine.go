@@ -10,57 +10,102 @@
 // Results are byte-identical at every shard count because all cross-node
 // deliveries are ordered by a canonical, shard-count-independent key
 // rather than by scheduling order.
+//
+// The scheduling hot path is allocation-free in steady state: events are
+// plain structs recycled through a per-engine free-list, the pending queue
+// is a monomorphic 4-ary min-heap specialised for *Event (no interface
+// boxing, no container/heap indirection), and packet deliveries carry
+// their payload as a typed message on the event itself — dispatched by a
+// small fixed set of event kinds — instead of a per-packet closure.
 package netsim
 
 import (
-	"container/heap"
 	"time"
 )
 
-// Event is a scheduled callback. Cancel prevents a pending event from
-// firing.
+// eventKind selects the dispatch path when an event fires. Keeping the
+// set small and fixed is what lets the packet path avoid closures: the
+// payload travels on the event, the behaviour lives in Engine.fire.
+type eventKind uint8
+
+const (
+	// kindFunc runs a captured callback — timers, Poisson generators,
+	// RTOs. The closure is the caller's; the engine only recycles the
+	// event shell.
+	kindFunc eventKind = iota
+	// kindArrival is the downlink-queue leg of a packet delivery: the
+	// event's msg payload is offered to the destination's downlink
+	// transmitter, and on success the same event is re-queued as
+	// kindDeliver at the serialisation-complete time.
+	kindArrival
+	// kindDeliver hands the msg payload to the destination node.
+	kindDeliver
+)
+
+// Event is a scheduled occurrence. Events are pooled: once fired (or
+// discarded after Cancel) the struct returns to its engine's free-list and
+// will be reused, so external code never holds a *Event — cancellation
+// goes through the generation-checked Timer handle instead.
 type Event struct {
 	at  time.Duration
 	seq uint64
-	// arrival marks a packet-delivery event, ordered at equal times by the
-	// canonical (src, srcSeq) key instead of the engine-local seq. The key
-	// is a pure function of the sending node's history, so it does not
-	// depend on how nodes are partitioned into shards — the property that
-	// makes sharded runs byte-identical to single-shard runs.
-	arrival   bool
+	// src/srcSeq order kindArrival events at equal times by the canonical
+	// (source, per-source sequence) key instead of the engine-local seq.
+	// The key is a pure function of the sending node's history, so it does
+	// not depend on how nodes are partitioned into shards — the property
+	// that makes sharded runs byte-identical to single-shard runs.
 	src       uint64
 	srcSeq    uint64
-	fn        func()
-	index     int
+	kind      eventKind
 	cancelled bool
+	// gen increments every time the event returns to the free-list; a
+	// Timer handle carries the generation it was issued under, so a stale
+	// Cancel after the event fired (and the struct was reused) is a no-op
+	// instead of poisoning the new occupant.
+	gen uint32
+	fn  func()  // kindFunc payload
+	msg message // kindArrival / kindDeliver payload
 }
 
-// Cancel marks the event so it will not fire. Cancelling an already-fired
-// event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.cancelled = true
+// Timer is a cancellable handle to a scheduled callback. The zero Timer
+// is valid and inert. Handles stay safe after the event fires: the pooled
+// event's generation moves on and Cancel quietly misses.
+type Timer struct {
+	ev  *Event
+	gen uint32
+}
+
+// Cancel prevents the pending callback from firing. Cancelling a zero
+// Timer, or one whose event already fired, is a no-op.
+func (t Timer) Cancel() {
+	if t.ev != nil && t.ev.gen == t.gen {
+		t.ev.cancelled = true
 	}
 }
 
-// At returns the event's scheduled time.
-func (e *Event) At() time.Duration { return e.at }
+// At returns the event's scheduled time, or false if it already fired
+// (its pooled slot moved on) or the handle is zero.
+func (t Timer) At() (time.Duration, bool) {
+	if t.ev == nil || t.ev.gen != t.gen {
+		return 0, false
+	}
+	return t.ev.at, true
+}
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
+// less is the canonical firing order: time, then locally scheduled events
+// before packet arrivals at the same instant, arrivals among themselves by
+// the shard-independent (src, srcSeq) key, and engine scheduling order
+// last. It is a strict total order (seq is unique per engine), so the
+// heap's internal layout can never influence pop order.
+func less(a, b *Event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
-	// Locally scheduled events fire before packet arrivals at the same
-	// instant; arrivals among themselves order by the canonical key. Both
-	// rules are independent of shard layout.
-	if a.arrival != b.arrival {
-		return !a.arrival
+	aArr, bArr := a.kind == kindArrival, b.kind == kindArrival
+	if aArr != bArr {
+		return !aArr
 	}
-	if a.arrival {
+	if aArr {
 		if a.src != b.src {
 			return a.src < b.src
 		}
@@ -70,33 +115,21 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
 
 // Engine is a single-threaded discrete-event clock. Time starts at zero;
 // events at equal times fire in scheduling order (arrival events are the
-// exception — see ScheduleArrivalAt).
+// exception — see the less doc).
 type Engine struct {
 	now   time.Duration
-	pq    eventHeap
+	pq    []*Event // monomorphic 4-ary min-heap ordered by less
 	seq   uint64
 	fired uint64
+	// free is the event pool. Steady-state simulation cycles events
+	// between pq and free without touching the allocator.
+	free []*Event
+	// net dispatches kindArrival/kindDeliver events; set when the engine
+	// is owned by a Network. A standalone engine only sees kindFunc.
+	net *Network
 }
 
 // NewEngine returns an engine at time zero.
@@ -105,9 +138,95 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current simulation time.
 func (e *Engine) Now() time.Duration { return e.now }
 
+// alloc takes an event from the free-list (or the allocator when the pool
+// is dry). Pool entries were scrubbed by recycle, so every field except
+// gen starts zero.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// recycle scrubs a finished event and returns it to the pool. The
+// generation bump invalidates outstanding Timer handles, and clearing fn
+// and msg drops the references they pin (closures, segments, ports) so
+// the pool never extends object lifetimes.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.at = 0
+	ev.seq = 0
+	ev.src = 0
+	ev.srcSeq = 0
+	ev.kind = kindFunc
+	ev.cancelled = false
+	ev.fn = nil
+	ev.msg = message{}
+	e.free = append(e.free, ev)
+}
+
+// push appends ev and restores the heap: a 4-ary sift-up. The shallow
+// 4-ary shape trades one extra comparison per level for half the levels —
+// a clear win when every node is a hot *Event comparison instead of a
+// heap.Interface call.
+func (e *Engine) push(ev *Event) {
+	e.pq = append(e.pq, ev)
+	i := len(e.pq) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !less(e.pq[i], e.pq[parent]) {
+			break
+		}
+		e.pq[i], e.pq[parent] = e.pq[parent], e.pq[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event (heap must be non-empty).
+func (e *Engine) pop() *Event {
+	h := e.pq
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	h = h[:n]
+	e.pq = h
+	if n == 0 {
+		return root
+	}
+	// Sift the former tail down from the root.
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !less(h[min], last) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = last
+	return root
+}
+
 // Schedule queues fn to run after delay (clamped at zero) and returns a
 // cancellable handle.
-func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+func (e *Engine) Schedule(delay time.Duration, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -115,42 +234,81 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
 }
 
 // ScheduleAt queues fn at an absolute time (clamped to now).
-func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Event {
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) Timer {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
 	e.seq++
-	heap.Push(&e.pq, ev)
-	return ev
+	e.push(ev)
+	return Timer{ev: ev, gen: ev.gen}
 }
 
-// ScheduleArrivalAt queues a packet-arrival event. At equal times arrivals
-// fire after locally scheduled events and order among themselves by
-// (src, srcSeq) — a key derived from the sending node, not from this
-// engine's scheduling history, so the firing order is identical however
-// the simulation is sharded. The (src, srcSeq) pair must be unique per
-// pending arrival.
-func (e *Engine) ScheduleArrivalAt(at time.Duration, src, srcSeq uint64, fn func()) *Event {
+// scheduleArrival queues the downlink leg of a packet delivery. At equal
+// times arrivals fire after locally scheduled events and order among
+// themselves by (m.src, m.seq) — a key derived from the sending node, not
+// from this engine's scheduling history, so the firing order is identical
+// however the simulation is sharded. The (src, seq) pair must be unique
+// per pending arrival.
+func (e *Engine) scheduleArrival(m message) {
+	at := m.at
 	if at < e.now {
 		at = e.now
 	}
-	ev := &Event{at: at, seq: e.seq, arrival: true, src: src, srcSeq: srcSeq, fn: fn}
+	ev := e.alloc()
+	ev.at = at
+	ev.seq = e.seq
+	ev.kind = kindArrival
+	ev.src = m.src
+	ev.srcSeq = m.seq
+	ev.msg = m
 	e.seq++
-	heap.Push(&e.pq, ev)
-	return ev
+	e.push(ev)
+}
+
+// grow pre-extends the heap's capacity by n slots — one reallocation for
+// a whole batch of cross-shard arrivals instead of log-many appends.
+func (e *Engine) grow(n int) {
+	if need := len(e.pq) + n; need > cap(e.pq) {
+		pq := make([]*Event, len(e.pq), need+need/2)
+		copy(pq, e.pq)
+		e.pq = pq
+	}
+}
+
+// fire dispatches one live event and recycles it (directly, or after its
+// follow-up leg for arrivals).
+func (e *Engine) fire(ev *Event) {
+	switch ev.kind {
+	case kindFunc:
+		fn := ev.fn
+		e.recycle(ev)
+		fn()
+	case kindArrival:
+		// The network either recycles ev (drop) or re-queues it as
+		// kindDeliver, reusing the struct for the second leg.
+		e.net.runArrival(e, ev)
+	case kindDeliver:
+		m := ev.msg
+		e.recycle(ev)
+		e.net.runDeliver(e, m)
+	}
 }
 
 // Step fires the next pending event and reports whether one existed.
 func (e *Engine) Step() bool {
 	for len(e.pq) > 0 {
-		ev := heap.Pop(&e.pq).(*Event)
+		ev := e.pop()
 		if ev.cancelled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		e.fire(ev)
 		return true
 	}
 	return false
@@ -198,7 +356,7 @@ func (e *Engine) RunBefore(end time.Duration) {
 func (e *Engine) NextEventAt() (time.Duration, bool) {
 	for len(e.pq) > 0 {
 		if e.pq[0].cancelled {
-			heap.Pop(&e.pq)
+			e.recycle(e.pop())
 			continue
 		}
 		return e.pq[0].at, true
@@ -208,3 +366,7 @@ func (e *Engine) NextEventAt() (time.Duration, bool) {
 
 // Pending returns the number of queued (possibly cancelled) events.
 func (e *Engine) Pending() int { return len(e.pq) }
+
+// PoolSize returns the free-list length — test and benchmark
+// observability for the recycling contract.
+func (e *Engine) PoolSize() int { return len(e.free) }

@@ -45,9 +45,10 @@ func TestEngineCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	// Cancelling nil or fired events must not panic.
-	var nilEv *Event
-	nilEv.Cancel()
+	// Cancelling zero or fired handles must not panic (and must not touch
+	// whatever event now occupies the recycled slot).
+	var zero Timer
+	zero.Cancel()
 	ev2 := e.Schedule(0, func() {})
 	e.Run(3 * time.Second)
 	ev2.Cancel()
@@ -93,6 +94,76 @@ func TestScheduleNegativeDelayClamps(t *testing.T) {
 	e.Run(2 * time.Second)
 	if at != time.Second {
 		t.Errorf("event at %v, want 1s (clamped)", at)
+	}
+}
+
+// A cancelled event goes back to the pool without firing, and the struct
+// that comes back out must not inherit the cancellation — the regression
+// class behind the PR 3 cancelled-head bug.
+func TestRecycledEventDoesNotInheritCancel(t *testing.T) {
+	e := NewEngine()
+	const n = 50
+	for i := 0; i < n; i++ {
+		tm := e.Schedule(time.Second, func() { t.Error("cancelled event fired") })
+		tm.Cancel()
+	}
+	e.Run(2 * time.Second)
+	if e.PoolSize() != n {
+		t.Fatalf("PoolSize = %d, want %d cancelled events recycled", e.PoolSize(), n)
+	}
+	// Reuse the whole pool: every reused event must fire exactly once, in
+	// FIFO order (stale ordering fields would scramble it, a stale
+	// cancelled flag would drop it).
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run(4 * time.Second)
+	if len(order) != n {
+		t.Fatalf("fired %d of %d reused events", len(order), n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO: reused event carried stale ordering state", order)
+		}
+	}
+}
+
+// A Timer held across its event's firing must not cancel the pool slot's
+// next occupant.
+func TestStaleCancelMissesReusedEvent(t *testing.T) {
+	e := NewEngine()
+	stale := e.Schedule(time.Second, func() {})
+	e.Run(2 * time.Second) // fires and recycles the event
+	fired := false
+	fresh := e.Schedule(time.Second, func() { fired = true }) // reuses the struct
+	stale.Cancel()                                            // generation moved on: must be a no-op
+	if _, ok := stale.At(); ok {
+		t.Error("stale Timer still reports a scheduled time")
+	}
+	if at, ok := fresh.At(); !ok || at != 3*time.Second {
+		t.Errorf("fresh Timer At = %v, %v; want 3s, true", at, ok)
+	}
+	e.Run(4 * time.Second)
+	if !fired {
+		t.Error("stale Cancel killed the reused event")
+	}
+}
+
+// The steady-state timer path must not touch the allocator: one event
+// cycles between the heap and the free-list.
+func TestSchedulingSteadyStateAllocFree(t *testing.T) {
+	e := NewEngine()
+	var tick func()
+	tick = func() { e.Schedule(time.Microsecond, tick) }
+	e.Schedule(0, tick)
+	for i := 0; i < 100; i++ { // warm the pool
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() { e.Step() })
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocates %v objects/op, want 0", allocs)
 	}
 }
 

@@ -148,11 +148,31 @@ type Network struct {
 	// to spoofed sources). Atomic: sends on any shard may increment it.
 	unroutable atomic.Uint64
 
-	// Shard load-balance observability (see ShardStats): the window count
-	// and per-shard cumulative barrier wait of sharded runs. Written only
-	// by the window coordinator between barriers.
+	// minUp[i] / minDown[i] are the smallest uplink / downlink propagation
+	// latencies among shard i's attached ports, maintained incrementally
+	// by Attach (hasPort marks shards with at least one port). Together
+	// they bound how soon a packet from shard i can land on shard j —
+	// minUp[i]+minDown[j] — which is the per-shard-pair lookahead the
+	// window scheduler widens its windows with.
+	minUp   []time.Duration
+	minDown []time.Duration
+	hasPort []bool
+
+	// globalLookaheadOnly collapses the per-pair lookaheads back to the
+	// pre-adaptive global minimum — kept for A/B tests proving the
+	// per-pair windows barrier strictly less often with identical bytes.
+	globalLookaheadOnly bool
+
+	// Shard load-balance observability (see ShardStats): the window count,
+	// per-shard cumulative barrier wait, and the min/sum/max of the
+	// per-shard window widths actually applied. Written only by the window
+	// coordinator between barriers.
 	windows     int
 	barrierWait []time.Duration
+	lookMin     time.Duration
+	lookMax     time.Duration
+	lookSum     time.Duration
+	lookN       uint64
 }
 
 // ShardStats summarises how a sharded run's load spread across shards:
@@ -161,11 +181,18 @@ type Network struct {
 // finished while the slowest shard of the window was still running —
 // high wait on one shard means the others carry the load). Event counts
 // are deterministic; waits and windows are wall-clock observations and
-// never affect results.
+// never affect results. LookaheadMin/Mean/Max summarise the per-shard
+// window widths the adaptive per-pair lookahead actually granted (zero
+// until a windowed run happens) — on a heterogeneous topology Mean well
+// above Min is the widening working.
 type ShardStats struct {
 	Events      []uint64
 	Windows     int
 	BarrierWait []time.Duration
+
+	LookaheadMin  time.Duration
+	LookaheadMean time.Duration
+	LookaheadMax  time.Duration
 }
 
 // ShardStats reports the current load-balance counters.
@@ -177,17 +204,33 @@ func (n *Network) ShardStats() ShardStats {
 	if n.barrierWait != nil {
 		st.BarrierWait = append([]time.Duration(nil), n.barrierWait...)
 	}
+	if n.lookN > 0 {
+		st.LookaheadMin = n.lookMin
+		st.LookaheadMax = n.lookMax
+		st.LookaheadMean = n.lookSum / time.Duration(n.lookN)
+	}
 	return st
 }
 
 // NewNetwork returns an empty single-shard network on the engine.
 func NewNetwork(eng *Engine) *Network {
-	return &Network{
+	n := &Network{
 		Eng:    eng,
 		shards: []*netShard{{eng: eng, outbox: make([][]message, 1)}},
 		ports:  make(map[Addr]*port),
 		pins:   make(map[Addr]int),
 	}
+	n.initLookahead()
+	eng.net = n
+	return n
+}
+
+// initLookahead sizes the per-shard latency minima tables.
+func (n *Network) initLookahead() {
+	ns := len(n.shards)
+	n.minUp = make([]time.Duration, ns)
+	n.minDown = make([]time.Duration, ns)
+	n.hasPort = make([]bool, ns)
 }
 
 // NewSharded returns an empty network whose nodes are partitioned across
@@ -204,9 +247,12 @@ func NewSharded(shards int) *Network {
 		pins:  make(map[Addr]int),
 	}
 	for i := 0; i < shards; i++ {
-		n.shards = append(n.shards, &netShard{eng: NewEngine(), outbox: make([][]message, shards)})
+		s := &netShard{eng: NewEngine(), outbox: make([][]message, shards)}
+		s.eng.net = n
+		n.shards = append(n.shards, s)
 	}
 	n.Eng = n.shards[0].eng
+	n.initLookahead()
 	return n
 }
 
@@ -291,11 +337,27 @@ func (n *Network) Attach(node Node, link LinkConfig) error {
 	if _, ok := n.ports[addr]; ok {
 		return fmt.Errorf("netsim: address %v already attached", addr)
 	}
+	shard := n.homeShard(addr)
 	n.ports[addr] = &port{
 		node:  node,
 		up:    xmitter{cfg: link},
 		down:  xmitter{cfg: link},
-		shard: n.homeShard(addr),
+		shard: shard,
+	}
+	// Fold the link into the shard's latency minima — the incremental
+	// half of the per-pair lookahead (Run derives window widths from
+	// these, so all attaches must precede the first Run).
+	if !n.hasPort[shard] {
+		n.hasPort[shard] = true
+		n.minUp[shard] = link.Latency
+		n.minDown[shard] = link.Latency
+	} else {
+		if link.Latency < n.minUp[shard] {
+			n.minUp[shard] = link.Latency
+		}
+		if link.Latency < n.minDown[shard] {
+			n.minDown[shard] = link.Latency
+		}
 	}
 	return nil
 }
@@ -363,26 +425,38 @@ func (n *Network) SendFrom(origin Addr, seg tcpkit.Segment) {
 	}
 	src.msgSeq++
 	if dst.shard == src.shard {
-		n.scheduleArrival(sh.eng, m)
+		sh.eng.scheduleArrival(m)
 	} else {
 		sh.outbox[dst.shard] = append(sh.outbox[dst.shard], m)
 	}
 }
 
-// scheduleArrival queues the downlink leg of a delivery on the
-// destination shard's engine, canonically ordered by (time, src, seq).
-func (n *Network) scheduleArrival(eng *Engine, m message) {
-	eng.ScheduleArrivalAt(m.at, m.src, m.seq, func() {
-		departDown, ok := m.dst.down.transmit(eng.Now(), m.size)
-		if !ok {
-			n.tap(eng.Now(), TapDrop, m.seg)
-			return
-		}
-		eng.ScheduleAt(departDown, func() {
-			n.tap(eng.Now(), TapDeliver, m.seg)
-			m.dst.node.Handle(m.seg)
-		})
-	})
+// runArrival fires the downlink-queue leg of a delivery (kindArrival):
+// the payload is offered to the destination's downlink transmitter, and
+// the same event struct is re-queued as the kindDeliver leg at the
+// serialisation-complete time — or recycled on a drop. The re-queued leg
+// takes a fresh engine seq, exactly as the closure it replaced did, so
+// firing order is bit-compatible with the pre-pooled engine.
+func (n *Network) runArrival(e *Engine, ev *Event) {
+	m := &ev.msg
+	departDown, ok := m.dst.down.transmit(e.now, m.size)
+	if !ok {
+		n.tap(e.now, TapDrop, m.seg)
+		e.recycle(ev)
+		return
+	}
+	ev.kind = kindDeliver
+	ev.at = departDown // transmit never departs before now
+	ev.seq = e.seq
+	e.seq++
+	e.push(ev)
+}
+
+// runDeliver fires the final leg (kindDeliver): tap, then hand the
+// segment to the destination node.
+func (n *Network) runDeliver(e *Engine, m message) {
+	n.tap(e.now, TapDeliver, m.seg)
+	m.dst.node.Handle(m.seg)
 }
 
 // Unroutable returns how many packets were addressed to unknown nodes

@@ -1,33 +1,44 @@
 package netsim
 
 import (
+	"math"
 	"sync"
 	"time"
 )
+
+// noLookahead marks a shard no other shard can send to: it may run every
+// window all the way to the horizon.
+const noLookahead = time.Duration(math.MaxInt64)
 
 // Run executes the simulation until the given time, firing events at or
 // before it (the sharded generalisation of Engine.Run).
 //
 // With one shard it simply drains that engine. With several it runs a
 // conservative parallel discrete-event simulation: all shards advance
-// together through lock-step time windows no wider than the lookahead —
-// the minimum uplink-plus-downlink propagation latency, which lower-bounds
-// how far in the future any cross-shard packet can land. Packets crossing
-// shards are queued in per-shard outboxes during a window and exchanged at
-// the barrier between windows; the canonical (time, source, sequence)
-// arrival ordering (see Engine.ScheduleArrivalAt) makes the execution —
-// and therefore every metric — byte-identical at every shard count.
+// together through lock-step time windows, with cross-shard packets
+// queued in per-shard outboxes during a window and exchanged at the
+// barrier between windows. Each shard's window is bounded by its own
+// incoming lookahead — the minimum uplink latency over the other
+// port-bearing shards plus the shard's own minimum downlink latency,
+// maintained incrementally by Attach — which lower-bounds how far in the
+// future any cross-shard packet can land on it. On heterogeneous
+// topologies this is strictly wider than the old global minimum (one
+// fast link anywhere no longer throttles every shard), so barrier counts
+// drop. The canonical (time, source, sequence) arrival ordering (see
+// Engine.scheduleArrival) makes the execution — and therefore every
+// metric — byte-identical at every shard count and every window width.
 //
-// When the lookahead is zero (some link has no propagation delay) the
-// windows degenerate, and Run falls back to a serial merge of the shard
-// heaps that preserves the same canonical order.
+// When some shard's incoming lookahead is zero (a zero-latency sender
+// paired with a zero-latency receiver) the windows degenerate, and Run
+// falls back to a serial merge of the shard heaps that preserves the same
+// canonical order.
 func (n *Network) Run(until time.Duration) {
 	if len(n.shards) == 1 {
 		n.Eng.Run(until)
 		return
 	}
-	if w := n.lookahead(); w > 0 {
-		n.runWindows(until, w)
+	if la, ok := n.lookaheads(); ok {
+		n.runWindows(until, la)
 	} else {
 		n.runMerged(until)
 	}
@@ -41,30 +52,63 @@ func (n *Network) Run(until time.Duration) {
 	n.exchange()
 }
 
-// lookahead returns the minimum time a packet needs to reach another
-// shard: the smallest uplink latency plus the smallest downlink latency of
-// any attached port. Serialisation time only adds to it.
-func (n *Network) lookahead() time.Duration {
-	first := true
-	var minUp, minDown time.Duration
-	for _, p := range n.ports {
-		if first || p.up.cfg.Latency < minUp {
-			minUp = p.up.cfg.Latency
+// lookaheads returns each shard's incoming lookahead — how far past the
+// window's opening instant shard j may safely run — and whether windowed
+// execution is possible at all (false when any shard's bound is zero).
+// With globalLookaheadOnly set, every shard gets the legacy global
+// minimum (smallest uplink plus smallest downlink latency over all
+// ports), the width the pre-adaptive scheduler used.
+func (n *Network) lookaheads() ([]time.Duration, bool) {
+	ns := len(n.shards)
+	la := make([]time.Duration, ns)
+	if n.globalLookaheadOnly {
+		g := noLookahead
+		minUp, minDown := noLookahead, noLookahead
+		for i := 0; i < ns; i++ {
+			if !n.hasPort[i] {
+				continue
+			}
+			if n.minUp[i] < minUp {
+				minUp = n.minUp[i]
+			}
+			if n.minDown[i] < minDown {
+				minDown = n.minDown[i]
+			}
 		}
-		if first || p.down.cfg.Latency < minDown {
-			minDown = p.down.cfg.Latency
+		if minUp != noLookahead {
+			g = minUp + minDown
 		}
-		first = false
+		for j := range la {
+			la[j] = g
+		}
+		return la, g != 0
 	}
-	if first {
-		return 0
+	ok := true
+	for j := 0; j < ns; j++ {
+		// The tightest sender elsewhere bounds what can land here.
+		up := noLookahead
+		for i := 0; i < ns; i++ {
+			if i != j && n.hasPort[i] && n.minUp[i] < up {
+				up = n.minUp[i]
+			}
+		}
+		if up == noLookahead || !n.hasPort[j] {
+			la[j] = noLookahead
+			continue
+		}
+		la[j] = up + n.minDown[j]
+		if la[j] == 0 {
+			ok = false
+		}
 	}
-	return minUp + minDown
+	return la, ok
 }
 
 // exchange flushes every shard's outboxes into the destination engines.
 // Runs single-threaded between windows; the barrier orders it with the
-// shard goroutines.
+// shard goroutines. The outbox slices and the destination heaps are
+// pre-sized per batch and reused across windows, so a steady cross-shard
+// flow settles into zero allocations here too.
 func (n *Network) exchange() {
 	for _, s := range n.shards {
 		for d, box := range s.outbox {
@@ -72,8 +116,9 @@ func (n *Network) exchange() {
 				continue
 			}
 			deng := n.shards[d].eng
+			deng.grow(len(box))
 			for i := range box {
-				n.scheduleArrival(deng, box[i])
+				deng.scheduleArrival(box[i])
 			}
 			s.outbox[d] = box[:0]
 		}
@@ -95,8 +140,10 @@ func (n *Network) minNext() (time.Duration, bool) {
 // runWindows is the parallel path: persistent per-shard workers fire the
 // events of one window concurrently, then a barrier exchanges cross-shard
 // packets before the next window opens. Windows start at the earliest
-// pending event, so idle stretches cost one barrier, not many.
-func (n *Network) runWindows(until time.Duration, w time.Duration) {
+// pending event, so idle stretches cost one barrier, not many; each shard
+// runs to its own end — the window start plus its incoming lookahead —
+// so shards behind slow links burn through more events per barrier.
+func (n *Network) runWindows(until time.Duration, la []time.Duration) {
 	if n.barrierWait == nil {
 		n.barrierWait = make([]time.Duration, len(n.shards))
 	}
@@ -123,12 +170,18 @@ func (n *Network) runWindows(until time.Duration, w time.Duration) {
 		if !ok || m >= until {
 			break
 		}
-		end := m + w
-		if end > until {
-			end = until
-		}
 		wg.Add(len(n.shards))
-		for _, start := range starts {
+		for j, start := range starts {
+			end := until
+			if la[j] != noLookahead {
+				if la[j] < until-m {
+					end = m + la[j]
+				}
+				// Only bounded shards feed the lookahead stats: an
+				// unreachable shard's horizon-wide window says nothing
+				// about the adaptive widening.
+				n.observeLookahead(end - m)
+			}
 			start <- end
 		}
 		wg.Wait()
@@ -146,6 +199,20 @@ func (n *Network) runWindows(until time.Duration, w time.Duration) {
 	for _, start := range starts {
 		close(start)
 	}
+}
+
+// observeLookahead folds one applied window width into the ShardStats
+// min/mean/max — determinism-neutral observability for the adaptive
+// widening.
+func (n *Network) observeLookahead(w time.Duration) {
+	if n.lookN == 0 || w < n.lookMin {
+		n.lookMin = w
+	}
+	if w > n.lookMax {
+		n.lookMax = w
+	}
+	n.lookSum += w
+	n.lookN++
 }
 
 // runMerged is the zero-lookahead fallback: a serial merge that always

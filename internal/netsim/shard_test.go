@@ -203,6 +203,101 @@ func TestShardedRunMatchesEngineRunBoundary(t *testing.T) {
 	}
 }
 
+// hetFingerprint runs a two-class mesh — one fast-link node pinned to
+// shard 0, slow-link nodes pinned to shard 1 — and returns its state
+// fingerprint plus the window count. globalOnly collapses the per-pair
+// lookaheads back to the legacy global minimum for the A/B comparison.
+func hetFingerprint(t *testing.T, globalOnly bool) (string, int) {
+	t.Helper()
+	fast := LinkConfig{RateBps: 1e9, Latency: 2 * time.Millisecond, MaxBacklog: 100 * time.Millisecond}
+	slow := LinkConfig{RateBps: 10e6, Latency: 20 * time.Millisecond, MaxBacklog: 100 * time.Millisecond}
+	net := NewSharded(2)
+	net.globalLookaheadOnly = globalOnly
+	const nodes = 5
+	addrs := make([]Addr, nodes)
+	for i := range addrs {
+		addrs[i] = Addr{10, 0, 0, byte(1 + i)}
+		shard := 1
+		if i == 0 {
+			shard = 0
+		}
+		if err := net.Pin(addrs[i], shard); err != nil {
+			t.Fatalf("Pin: %v", err)
+		}
+	}
+	ens := make([]*echoNode, nodes)
+	for i, addr := range addrs {
+		var peers []Addr
+		for _, p := range addrs {
+			if p != addr {
+				peers = append(peers, p)
+			}
+		}
+		ens[i] = &echoNode{
+			addr: addr, eng: net.EngineFor(addr), net: net,
+			rnd: rand.New(rand.NewSource(int64(100 + i))), peers: peers,
+			rate: 150, stopAt: 3 * time.Second, byPeer: map[Addr]uint64{},
+		}
+		link := slow
+		if i == 0 {
+			link = fast
+		}
+		if err := net.Attach(ens[i], link); err != nil {
+			t.Fatalf("Attach(%v): %v", addr, err)
+		}
+		ens[i].eng.Schedule(0, ens[i].tick)
+	}
+	net.Run(3 * time.Second)
+
+	out := ""
+	for i, n := range ens {
+		out += fmt.Sprintf("node%d sent=%d recvd=%d echoed=%d bytes=%d last=%v\n",
+			i, n.sent, n.recvd, n.echoed, n.sumSize, n.lastAt)
+	}
+	return out, net.ShardStats().Windows
+}
+
+// TestPerPairLookaheadFewerWindows is the adaptive-widening contract on a
+// heterogeneous topology: one fast 2 ms link (the server class) pinned to
+// shard 0 and slow 20 ms links on shard 1. The legacy global lookahead is
+// 4 ms — the fast link throttles everyone — while the per-pair bounds are
+// 22 ms in both directions, so the same simulation must barrier strictly
+// less often with byte-identical results.
+func TestPerPairLookaheadFewerWindows(t *testing.T) {
+	wantFP, globalWindows := hetFingerprint(t, true)
+	gotFP, pairWindows := hetFingerprint(t, false)
+	if gotFP != wantFP {
+		t.Errorf("per-pair lookahead changed results:\n got:\n%s\nwant:\n%s", gotFP, wantFP)
+	}
+	if globalWindows == 0 || pairWindows == 0 {
+		t.Fatalf("degenerate run: windows global=%d perpair=%d", globalWindows, pairWindows)
+	}
+	if pairWindows >= globalWindows {
+		t.Errorf("per-pair lookahead ran %d windows, global minimum %d; want strictly fewer",
+			pairWindows, globalWindows)
+	}
+	t.Logf("windows: global=%d per-pair=%d", globalWindows, pairWindows)
+}
+
+// TestLookaheadStatsObserved: windowed runs must report the applied
+// window widths, and on the heterogeneous mesh the per-pair widths must
+// exceed the legacy global minimum (4 ms here).
+func TestLookaheadStatsObserved(t *testing.T) {
+	net := NewSharded(4)
+	statsMesh(t, net, 8)
+	net.Run(2 * time.Second)
+	st := net.ShardStats()
+	if st.LookaheadMin <= 0 || st.LookaheadMean < st.LookaheadMin || st.LookaheadMax < st.LookaheadMean {
+		t.Errorf("lookahead stats not ordered: min=%v mean=%v max=%v",
+			st.LookaheadMin, st.LookaheadMean, st.LookaheadMax)
+	}
+	// statsMesh links are homogeneous 2 ms, so every window is exactly
+	// 4 ms wide except the horizon-capped ones, which are narrower.
+	if st.LookaheadMax != 4*time.Millisecond {
+		t.Errorf("LookaheadMax = %v, want 4ms on a homogeneous 2ms mesh", st.LookaheadMax)
+	}
+}
+
 // TestPinPlacesNode verifies explicit placement and its reservation
 // behaviour for unpinned nodes.
 func TestPinPlacesNode(t *testing.T) {

@@ -3,6 +3,7 @@ package serversim
 import (
 	"time"
 
+	"github.com/tcppuzzles/tcppuzzles/internal/netsim"
 	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
 )
 
@@ -71,10 +72,8 @@ func (s *Server) onData(c *conn, seg tcpkit.Segment) {
 	}
 	c.pendingReq = want
 	if c.hasWorker {
-		if c.idleEv != nil {
-			c.idleEv.Cancel()
-			c.idleEv = nil
-		}
+		c.idleEv.Cancel()
+		c.idleEv = netsim.Timer{}
 		s.serve(c)
 	}
 	// Otherwise the request is buffered until a worker accepts the
@@ -125,10 +124,8 @@ func (s *Server) closeConn(c *conn, releaseWorker bool) {
 		return
 	}
 	delete(s.conns, c.peer)
-	if c.idleEv != nil {
-		c.idleEv.Cancel()
-		c.idleEv = nil
-	}
+	c.idleEv.Cancel()
+	c.idleEv = netsim.Timer{}
 	if c.hasWorker && releaseWorker {
 		s.workersFree++
 		c.hasWorker = false

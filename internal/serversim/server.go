@@ -27,7 +27,7 @@ type conn struct {
 	accepted   bool
 	hasWorker  bool
 	pendingReq int // requested response bytes, 0 if no request yet
-	idleEv     *netsim.Event
+	idleEv     netsim.Timer
 	createdAt  time.Duration
 }
 

@@ -299,7 +299,16 @@ func TestPuzzleSolvedHandshakeEstablishes(t *testing.T) {
 }
 
 func TestPuzzleBogusSolutionRejected(t *testing.T) {
-	f := newFixture(t, puzzleCfg(false))
+	// Not puzzleCfg: at the shared K=2/M=4 difficulty an all-zero guess
+	// verifies by luck once per 2^8 runs (the issuer secret is drawn from
+	// crypto/rand, so the test cannot pin the challenge). M=20 pushes the
+	// false-accept odds to 2^-40 while verification stays instant.
+	f := newFixture(t, Config{
+		Defense:         sweep.DefensePuzzles,
+		Backlog:         1,
+		PuzzleParams:    puzzle.Params{K: 2, M: 20, L: 32},
+		SimulatedCrypto: false,
+	})
 	fillListenQueue(f, t)
 	f.syn(9001, 6)
 	f.run(50 * time.Millisecond)

@@ -48,6 +48,13 @@ func TestFoldSeedsMeanAndStddev(t *testing.T) {
 	if got := a.Metric("m2_stddev"); got != 0 {
 		t.Errorf("m2_stddev = %v, want 0 for constant metric", got)
 	}
+	// ci95 = t(df=2) · s/√n = 4.303 · 4/√3.
+	if got, want := a.Metric("m1_ci95"), 4.303*4/math.Sqrt(3); math.Abs(got-want) > 1e-9 {
+		t.Errorf("m1_ci95 = %v, want %v", got, want)
+	}
+	if got := a.Metric("m2_ci95"); got != 0 {
+		t.Errorf("m2_ci95 = %v, want 0 for constant metric", got)
+	}
 	s := a.SeriesValues("s_mean")
 	if len(s) != 2 || s[0] != 3 || s[1] != 4 {
 		t.Errorf("s_mean = %v, want [3 4]", s)
@@ -59,6 +66,28 @@ func TestFoldSeedsMeanAndStddev(t *testing.T) {
 	}
 	if got := b.Metric("m1_stddev"); got != 0 {
 		t.Errorf("single-replicate stddev = %v, want 0", got)
+	}
+	if got := b.Metric("m1_ci95"); got != 0 {
+		t.Errorf("single-replicate ci95 = %v, want 0", got)
+	}
+}
+
+// tCritical95 must agree with the published table at its edges and decay
+// monotonically toward the normal quantile.
+func TestTCritical95(t *testing.T) {
+	cases := map[int]float64{1: 12.706, 2: 4.303, 30: 2.042, 40: 2.021, 60: 2.000, 120: 1.980}
+	for df, want := range cases {
+		if got := tCritical95(df); math.Abs(got-want) > 2e-3 {
+			t.Errorf("tCritical95(%d) = %v, want ≈%v", df, got, want)
+		}
+	}
+	for df := 1; df < 200; df++ {
+		if tCritical95(df+1) >= tCritical95(df) {
+			t.Errorf("tCritical95 not strictly decreasing at df=%d", df)
+		}
+	}
+	if tCritical95(0) != 0 {
+		t.Error("df<1 must yield 0, not a panic")
 	}
 }
 
@@ -91,15 +120,15 @@ func TestReplicateSinkFoldsOnFlush(t *testing.T) {
 		t.Fatalf("Flush: %v", err)
 	}
 	out := buf.String()
-	if !strings.Contains(out, "m1_mean") || !strings.Contains(out, "m1_stddev") {
-		t.Errorf("folded CSV missing mean/stddev rows:\n%s", out)
+	if !strings.Contains(out, "m1_mean") || !strings.Contains(out, "m1_stddev") || !strings.Contains(out, "m1_ci95") {
+		t.Errorf("folded CSV missing mean/stddev/ci95 rows:\n%s", out)
 	}
 	if strings.Contains(out, "seed=1") {
 		t.Errorf("folded CSV still carries per-seed labels:\n%s", out)
 	}
-	// 2 groups × (1 replicates + 2 metrics × 2 stats) rows + header.
-	if lines := strings.Count(out, "\n"); lines != 11 {
-		t.Errorf("folded CSV has %d rows, want 11:\n%s", lines, out)
+	// 2 groups × (1 replicates + 2 metrics × 3 stats) rows + header.
+	if lines := strings.Count(out, "\n"); lines != 15 {
+		t.Errorf("folded CSV has %d rows, want 15:\n%s", lines, out)
 	}
 	// A second Flush is a no-op for the buffer (nothing re-folded).
 	before := buf.Len()
