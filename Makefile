@@ -6,7 +6,7 @@ GO ?= go
 # samples to test significance on (benchstat wants >= 10 for tight CIs).
 COUNT ?= 10
 
-.PHONY: build test race bench bench-smoke bench-engine fuzz-smoke
+.PHONY: build test race bench bench-smoke bench-engine bench-scale fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,14 @@ bench-engine:
 # One iteration of every benchmark — the CI rot guard.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# The macro-source scale wall and curve: the 100k-source bounded-memory
+# test (skipped under -short, so `make race`/CI's -short test job never
+# runs it implicitly) plus the sources-vs-heap/runtime sweep behind
+# BENCH_scale.json.
+bench-scale:
+	$(GO) test -run TestMacroFloodBoundedMemory -v ./internal/experiments/
+	$(GO) test -run '^$$' -bench BenchmarkMacroFlood -benchtime=3x .
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzChallengeRoundTrip -fuzztime=10s ./tcpopt

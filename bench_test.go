@@ -97,6 +97,49 @@ func shardedFloodScenario() sim.Scenario {
 	}
 }
 
+// macroFloodScenario is the macro-aggregated population behind
+// BenchmarkMacroFlood: the same fixed 20-second SYN-flood shape as the CI
+// bounded-memory wall (TestMacroFloodBoundedMemory) and `tcpz-profile
+// -sources`, so the three scale probes measure the same workload.
+func macroFloodScenario(sources int) experiments.Scenario {
+	return experiments.Scenario{
+		Label:    fmt.Sprintf("macro-%d", sources),
+		Duration: 20 * time.Second, AttackStart: 2 * time.Second, AttackStop: 18 * time.Second,
+		NumClients: 2, ClientRate: 4,
+		Defense: experiments.DefensePuzzles, Attack: experiments.AttackSYNFlood,
+		BotCount: sim.NoBotnet, MacroSources: sources, PerBotRate: 0.05,
+		Backlog: 512, AcceptBacklog: 128, Workers: 24,
+		Seed: 11,
+	}
+}
+
+// BenchmarkMacroFlood measures the macro-source execution path as the
+// population grows 10k → 1M: one scheduled event drives a whole batch of
+// sources per tick and per-source state is a few flat array slots, so
+// runtime grows with packet count while retained heap stays tens of
+// megabytes even at a million sources (a per-bot run of the same
+// population would retain gigabytes). The measured sources-vs-RSS/runtime
+// curve for the reference container is recorded in BENCH_scale.json.
+func BenchmarkMacroFlood(b *testing.B) {
+	for _, sources := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("sources=%d", sources), func(b *testing.B) {
+			sc := macroFloodScenario(sources)
+			for i := 0; i < b.N; i++ {
+				run, err := experiments.RunFlood(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(run.Macro.TotalSent(0, sc.Duration), "packets")
+				runtime.GC()
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "heap-MiB")
+				runtime.KeepAlive(run)
+			}
+		})
+	}
+}
+
 // shardCounts sweeps 1 → GOMAXPROCS in powers of two (always including at
 // least 1, 2 and 4 so the curve is comparable across machines).
 func shardCounts() []int {

@@ -13,7 +13,9 @@
 // The defense and attack coordinates of every scenario resolve in the
 // strategy plugin registries; -list-defenses and -list-attacks print what
 // is registered. -verbose narrates execution on stderr: per-cell shard
-// load balance (with -shards) and runner-pool backpressure.
+// load balance (with -shards), per-cell heap usage, and runner-pool
+// backpressure with the grid's peak heap — the memory headroom signal
+// for macro-source scale runs.
 //
 // Usage:
 //
@@ -54,7 +56,7 @@ func run(args []string) error {
 	foldSeeds := fs.Bool("fold-seeds", false, "fold replicated cells (Seeds axes) into mean/stddev rows (csv or json format)")
 	cacheDir := fs.String("cache-dir", "", "cache completed cells here; repeated runs skip identical scenarios")
 	cacheMax := fs.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this total size (0 = unlimited)")
-	verbose := fs.Bool("verbose", false, "narrate execution on stderr: shard load balance and runner backpressure")
+	verbose := fs.Bool("verbose", false, "narrate execution on stderr: shard load balance, per-cell heap, and runner backpressure")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	listDefenses := fs.Bool("list-defenses", false, "list registered defense plugins and exit")
 	listAttacks := fs.Bool("list-attacks", false, "list registered attack plugins and exit")

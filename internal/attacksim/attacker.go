@@ -16,6 +16,7 @@ import (
 	"github.com/tcppuzzles/tcppuzzles/internal/cpumodel"
 	"github.com/tcppuzzles/tcppuzzles/internal/netsim"
 	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+	"github.com/tcppuzzles/tcppuzzles/internal/xrand"
 	"github.com/tcppuzzles/tcppuzzles/sweep"
 	"github.com/tcppuzzles/tcppuzzles/tcpopt"
 )
@@ -61,6 +62,13 @@ type Config struct {
 	Seed int64
 	// MetricBucket is the metric bucket width.
 	MetricBucket time.Duration
+
+	// CompactRNG draws the bot's randomness (jitter, spoofed addresses,
+	// ISNs) from the 8-byte splitmix source macro fleets use instead of
+	// the ~5 KB default source. Different stream, same determinism; it
+	// exists so a per-bot run can be compared draw-for-draw against the
+	// macro-aggregated execution of the same scenario.
+	CompactRNG bool
 }
 
 func (c *Config) fillDefaults() {
@@ -102,12 +110,18 @@ type Bot struct {
 // attaches it to the network.
 func New(eng *netsim.Engine, network *netsim.Network, link netsim.LinkConfig, cfg Config) (*Bot, error) {
 	cfg.fillDefaults()
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	isns := tcpkit.NewISNSource(cfg.Seed + 13)
+	if cfg.CompactRNG {
+		rnd = rand.New(xrand.New(cfg.Seed))
+		isns = tcpkit.NewISNSourceFrom(xrand.New(cfg.Seed + 13))
+	}
 	b := &Bot{
 		cfg:      cfg,
 		eng:      eng,
 		net:      network,
-		rnd:      rand.New(rand.NewSource(cfg.Seed)),
-		isns:     tcpkit.NewISNSource(cfg.Seed + 13),
+		rnd:      rnd,
+		isns:     isns,
 		cpu:      cpumodel.NewCPU(cfg.Device, cfg.MetricBucket),
 		nextPort: 20000,
 		awaiting: make(map[uint16]uint32),

@@ -39,6 +39,9 @@ type BotnetConfig struct {
 	Seed int64
 	// MetricBucket is the metric bucket width.
 	MetricBucket time.Duration
+	// CompactRNG selects the macro-comparable per-bot RNG (see
+	// Config.CompactRNG).
+	CompactRNG bool
 }
 
 // Botnet is a fleet of bots with aggregate metrics.
@@ -66,9 +69,7 @@ func NewBotnet(network *netsim.Network, cfg BotnetConfig) (*Botnet, error) {
 	}
 	bn := &Botnet{Bots: make([]*Bot, 0, cfg.Size)}
 	for i := 0; i < cfg.Size; i++ {
-		addr := cfg.BaseAddr
-		addr[3] += byte(i % 200)
-		addr[2] += byte(i / 200)
+		addr := netsim.SourceAddr(cfg.BaseAddr, i)
 		bot, err := New(network.EngineFor(addr), network, link, Config{
 			Addr:            addr,
 			ServerAddr:      cfg.ServerAddr,
@@ -83,6 +84,7 @@ func NewBotnet(network *netsim.Network, cfg BotnetConfig) (*Botnet, error) {
 			Device:          devices[i%len(devices)],
 			Seed:            cfg.Seed + int64(i)*101,
 			MetricBucket:    cfg.MetricBucket,
+			CompactRNG:      cfg.CompactRNG,
 		})
 		if err != nil {
 			return nil, err

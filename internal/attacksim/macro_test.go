@@ -1,0 +1,76 @@
+package attacksim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/netsim"
+	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+)
+
+// synAckServer is a minimal victim: every SYN gets a SYN-ACK, so macro
+// handshake bookkeeping (awaiting map, OnSynAck dispatch) is exercised
+// without the full server simulator.
+type synAckServer struct {
+	addr netsim.Addr
+	net  *netsim.Network
+	syns int
+}
+
+func (s *synAckServer) Addr() netsim.Addr { return s.addr }
+func (s *synAckServer) Handle(seg tcpkit.Segment) {
+	if !seg.Flags.Has(tcpkit.FlagSYN) || seg.Flags.Has(tcpkit.FlagACK) {
+		return
+	}
+	s.syns++
+	s.net.Send(tcpkit.Segment{
+		Src: s.addr, Dst: seg.Src, SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+		Seq: 9000, Ack: seg.Seq + 1, Flags: tcpkit.FlagSYN | tcpkit.FlagACK,
+	})
+}
+
+func runMacro(t *testing.T, batch int) ([]float64, uint64, int) {
+	t.Helper()
+	network := netsim.NewSharded(1)
+	srv := &synAckServer{addr: netsim.Addr{10, 0, 0, 1}}
+	srv.net = network
+	if err := network.Attach(srv, netsim.DefaultServerLink()); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := NewMacroFleet(network, MacroConfig{
+		Sources:       25,
+		BaseAddr:      [4]byte{10, 2, 0, 1},
+		ServerAddr:    srv.addr,
+		Attack:        "connflood",
+		PerSourceRate: 20,
+		StartAt:       time.Second,
+		StopAt:        9 * time.Second,
+		Seed:          5,
+		BatchSize:     batch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	network.Run(10 * time.Second)
+	up, _ := fleet.Store().Stats()
+	return fleet.Metrics().Sent.Values(10 * time.Second), up.SentPackets, srv.syns
+}
+
+// Batching is an execution knob, never a modelling one: any batch size
+// must reproduce the same per-source ticks, packets, and handshakes.
+func TestMacroBatchSizeNeutral(t *testing.T) {
+	wantSent, wantPkts, wantSyns := runMacro(t, 1024)
+	for _, batch := range []int{1, 3, 7} {
+		sent, pkts, syns := runMacro(t, batch)
+		if !reflect.DeepEqual(sent, wantSent) {
+			t.Errorf("batch=%d: Sent series differs", batch)
+		}
+		if pkts != wantPkts || syns != wantSyns {
+			t.Errorf("batch=%d: pkts=%d syns=%d, want %d/%d", batch, pkts, syns, wantPkts, wantSyns)
+		}
+	}
+	if wantPkts == 0 || wantSyns == 0 {
+		t.Fatalf("degenerate run: pkts=%d syns=%d", wantPkts, wantSyns)
+	}
+}

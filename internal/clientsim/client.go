@@ -58,6 +58,12 @@ type Config struct {
 	// response — how deceived clients discover they were never served.
 	ResponseTimeout time.Duration
 
+	// SketchConnTimes streams connection times into an O(1) summary
+	// sketch (Metrics.ConnSketch) instead of retaining every sample in
+	// Metrics.ConnTimes — the bounded-memory mode for figure cells with
+	// very long sample streams. The sketch tracks mean and p10/p50/p90.
+	SketchConnTimes bool
+
 	// Seed drives the client's deterministic randomness. Every client
 	// derives its RNG from its own seed alone (never from engine or shard
 	// state), so a client behaves identically whichever event-engine
@@ -126,9 +132,13 @@ type Metrics struct {
 	// BytesIn feeds the client throughput plots.
 	BytesIn *stats.Series
 	// ConnTimes are handshake completion times in seconds (Fig. 6), with
-	// the simulation times at which they completed for windowing.
+	// the simulation times at which they completed for windowing. Nil
+	// when Config.SketchConnTimes routes the stream into ConnSketch.
 	ConnTimes   []float64
 	ConnTimesAt []time.Duration
+	// ConnSketch summarises connection times in O(1) memory when
+	// Config.SketchConnTimes is set; nil otherwise.
+	ConnSketch *stats.SummarySketch
 	// Attempts/Successes/Failures per bucket drive the Fig. 15
 	// %-established series.
 	Attempts  *stats.Series
@@ -181,6 +191,9 @@ func New(eng *netsim.Engine, network *netsim.Network, link netsim.LinkConfig, cf
 			Successes: stats.NewSeries(cfg.MetricBucket),
 			Failures:  stats.NewSeries(cfg.MetricBucket),
 		},
+	}
+	if cfg.SketchConnTimes {
+		c.metrics.ConnSketch = stats.NewSummarySketch(0.10, 0.50, 0.90)
 	}
 	if err := network.Attach(c, link); err != nil {
 		return nil, fmt.Errorf("clientsim: %w", err)
@@ -362,8 +375,12 @@ func (c *Client) finishHandshake(cc *cconn, serverISN uint32, ch *puzzle.Challen
 	})
 	cc.state = stateEstablished
 	c.metrics.Established++
-	c.metrics.ConnTimes = append(c.metrics.ConnTimes, (now - cc.startedAt).Seconds())
-	c.metrics.ConnTimesAt = append(c.metrics.ConnTimesAt, now)
+	if c.metrics.ConnSketch != nil {
+		c.metrics.ConnSketch.Observe((now - cc.startedAt).Seconds())
+	} else {
+		c.metrics.ConnTimes = append(c.metrics.ConnTimes, (now - cc.startedAt).Seconds())
+		c.metrics.ConnTimesAt = append(c.metrics.ConnTimesAt, now)
+	}
 	// Issue the gettext/size request.
 	c.net.Send(tcpkit.Segment{
 		Src: c.cfg.Addr, Dst: c.cfg.ServerAddr,

@@ -26,6 +26,14 @@ type Fig6Config struct {
 	Ms []uint8
 	// Connections is the number of handshakes sampled per cell.
 	Connections int
+	// Sketch computes each cell's connection-time statistics with the
+	// O(1) streaming summary sketch (P² quantiles) instead of retaining
+	// every sample for an exact CDF — the bounded-memory mode for very
+	// long sample streams. Mean and sample count are exact either way;
+	// the p10/p50/p90 estimates carry the P² error envelope (see
+	// internal/stats sketch tests). Sketch cells cache under their own
+	// namespace so exact and sketched results never alias.
+	Sketch bool
 	// Seed drives randomness.
 	Seed int64
 	// Scale supplies execution options only (runner width, sinks,
@@ -82,9 +90,13 @@ type Fig6Result struct {
 func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 	cfg.fill()
 	grid := Fig6Grid(cfg.Ks, cfg.Ms, cfg.Connections, cfg.Seed)
-	results, err := runCells(cfg.Scale, "fig6", "", grid.Expand(nil),
+	ns := "fig6"
+	if cfg.Sketch {
+		ns = "fig6-sketch"
+	}
+	results, err := runCells(cfg.Scale, ns, "", grid.Expand(nil),
 		func(_ int, sc Scenario) ([]sweep.Metric, []sweep.Series, error) {
-			return fig6Cell(sc)
+			return fig6Cell(sc, cfg.Sketch)
 		})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig6: %w", err)
@@ -94,8 +106,10 @@ func Fig6(cfg Fig6Config) (*Fig6Result, error) {
 
 // fig6Cell runs one difficulty cell: sequential handshakes on a LAN, no
 // attack, reporting the connection-time distribution in microseconds (the
-// paper's axis).
-func fig6Cell(sc Scenario) ([]sweep.Metric, []sweep.Series, error) {
+// paper's axis). With sketch set the distribution is summarised in O(1)
+// memory as the handshakes complete; otherwise every sample is retained
+// and the quantiles are exact.
+func fig6Cell(sc Scenario, sketch bool) ([]sweep.Metric, []sweep.Series, error) {
 	params := sc.Params
 	connections := int(sc.Duration/fig6ConnectionGap) - 2
 	eng := netsim.NewEngine()
@@ -122,6 +136,7 @@ func fig6Cell(sc Scenario) ([]sweep.Metric, []sweep.Series, error) {
 		RequestBytes:    sc.RequestBytes,
 		Device:          cpumodel.CPU1,
 		MaxSolveBacklog: time.Hour, // sequential connects; never abandon
+		SketchConnTimes: sketch,
 		Seed:            sc.Seed + int64(params.K)*100 + int64(params.M),
 	})
 	if err != nil {
@@ -142,6 +157,17 @@ func fig6Cell(sc Scenario) ([]sweep.Metric, []sweep.Series, error) {
 	eng.ScheduleAt(0, connect)
 	eng.Run(sc.Duration)
 
+	if sk := client.Metrics().ConnSketch; sk != nil {
+		// P² marker updates commute with affine scaling, so sketching in
+		// seconds and reporting in microseconds loses nothing.
+		return []sweep.Metric{
+			{Name: "conn_time_mean_us", Value: sk.Mean() * 1e6},
+			{Name: "conn_time_p10_us", Value: sk.Quantile(0.10) * 1e6},
+			{Name: "conn_time_p50_us", Value: sk.Quantile(0.50) * 1e6},
+			{Name: "conn_time_p90_us", Value: sk.Quantile(0.90) * 1e6},
+			{Name: "samples", Value: float64(sk.Count())},
+		}, nil, nil
+	}
 	times := client.Metrics().ConnTimes
 	micros := make([]float64, len(times))
 	for i, s := range times {

@@ -20,6 +20,10 @@ type FloodRun struct {
 	Server  *serversim.Server
 	Clients []*clientsim.Client
 	Botnet  *attacksim.Botnet
+	// Macro is the macro-aggregated source population when the scenario
+	// set MacroSources; exactly one of Botnet/Macro is non-nil for an
+	// attacking scenario.
+	Macro *attacksim.MacroFleet
 }
 
 // shardCount resolves a Scenario.Shards value: 0 and 1 run the classic
@@ -94,7 +98,30 @@ func RunFlood(sc Scenario) (*FloodRun, error) {
 		run.Clients = append(run.Clients, client)
 	}
 
-	if sc.BotCount > 0 && sc.PerBotRate > 0 {
+	switch {
+	case sc.MacroSources > 0 && sc.PerBotRate > 0:
+		fleet, err := attacksim.NewMacroFleet(network, attacksim.MacroConfig{
+			Sources:         sc.MacroSources,
+			BaseAddr:        [4]byte{10, 2, 0, 1},
+			ServerAddr:      srv.Addr(),
+			Attack:          sc.Attack,
+			PerSourceRate:   sc.PerBotRate,
+			Solves:          sc.BotsSolve,
+			SimulatedCrypto: true,
+			MaxSolveBacklog: sc.BotMaxSolveBacklog,
+			StartAt:         sc.AttackStart,
+			StopAt:          sc.AttackStop,
+			Seed:            sc.Seed + 1000,
+			MetricBucket:    sc.Bucket,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: macro fleet: %w", err)
+		}
+		run.Macro = fleet
+		// Server-side attacker accounting stays O(1) in population size:
+		// establishments from the population fold into one series.
+		srv.Metrics().AggregateSrcs(fleet.Contains)
+	case sc.BotCount > 0 && sc.PerBotRate > 0:
 		botnet, err := attacksim.NewBotnet(network, attacksim.BotnetConfig{
 			Size:            sc.BotCount,
 			BaseAddr:        [4]byte{10, 2, 0, 1},
@@ -108,6 +135,7 @@ func RunFlood(sc Scenario) (*FloodRun, error) {
 			StopAt:          sc.AttackStop,
 			Seed:            sc.Seed + 1000,
 			MetricBucket:    sc.Bucket,
+			CompactRNG:      sc.CompactBotRNG,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: botnet: %w", err)
@@ -180,6 +208,9 @@ func (r *FloodRun) ClientCPU() []float64 {
 
 // AttackerCPU returns the mean per-bucket botnet CPU utilisation (%).
 func (r *FloodRun) AttackerCPU() []float64 {
+	if r.Macro != nil {
+		return r.Macro.MeanCPUUtilisation(r.Cfg.Duration)
+	}
 	if r.Botnet == nil {
 		return nil
 	}
@@ -196,6 +227,9 @@ func (r *FloodRun) QueueSizes() (listen, accept []float64) {
 // AttackerEstablishedRate returns the botnet's completed connections per
 // second as seen by the server (the effective attack rate).
 func (r *FloodRun) AttackerEstablishedRate() []float64 {
+	if r.Macro != nil {
+		return r.Server.Metrics().AggregateEstablishedRate(r.Cfg.Duration)
+	}
 	if r.Botnet == nil {
 		return nil
 	}
@@ -205,6 +239,9 @@ func (r *FloodRun) AttackerEstablishedRate() []float64 {
 // MeasuredAttackRate returns the botnet's sent packets per second (after
 // CPU limiting).
 func (r *FloodRun) MeasuredAttackRate() []float64 {
+	if r.Macro != nil {
+		return r.Macro.SentRate(r.Cfg.Duration)
+	}
 	if r.Botnet == nil {
 		return nil
 	}

@@ -38,6 +38,19 @@ func shardMatrixGrid() sweep.Grid {
 				sc.Defense = DefensePuzzles
 				sc.Attack = AttackPulseFlood
 			}},
+			// Macro-aggregated populations ride the same matrix: batch
+			// events, SoA source store, and aggregate server metrics must
+			// hold the byte-identity bar at every shard and worker count.
+			sweep.Point{Label: "macro-syn", Set: func(sc *Scenario) {
+				sc.Defense = DefensePuzzles
+				sc.Attack = AttackSYNFlood
+				sc.MacroSources = 40
+			}},
+			sweep.Point{Label: "macro-conn", Set: func(sc *Scenario) {
+				sc.Defense = DefensePuzzles
+				sc.Attack = AttackConnFlood
+				sc.MacroSources = 40
+			}},
 		)},
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"github.com/tcppuzzles/tcppuzzles/sim/runner"
@@ -41,6 +42,13 @@ func runCells(scale Scale, experiment, cacheNS string, cells []Scenario,
 	}
 	results := make([]sweep.Result, len(cells))
 	stream := sweep.NewStream(scale.Sinks...)
+	// Process-wide peak heap across the grid's computed cells, sampled as
+	// each cell lands. Advisory (GC timing dependent), so it lives in
+	// Exec alongside the equally scheduling-dependent pool stats.
+	var (
+		peakMu                     sync.Mutex
+		peakHeapAlloc, peakHeapSys uint64
+	)
 	stats, err := runner.ForEachStats(scale.Parallelism, len(cells), func(i int) error {
 		var (
 			metrics []sweep.Metric
@@ -60,6 +68,20 @@ func runCells(scale Scale, experiment, cacheNS string, cells []Scenario,
 					return fmt.Errorf("scenario %q: %w", canon[i].Label, err)
 				}
 				return err
+			}
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			peakMu.Lock()
+			if ms.HeapAlloc > peakHeapAlloc {
+				peakHeapAlloc = ms.HeapAlloc
+			}
+			if ms.HeapSys > peakHeapSys {
+				peakHeapSys = ms.HeapSys
+			}
+			peakMu.Unlock()
+			if scale.Debug != nil {
+				fmt.Fprintf(scale.Debug, "[%s] cell %q: heap-alloc=%dMiB heap-sys=%dMiB\n",
+					experiment, canon[i].Label, ms.HeapAlloc>>20, ms.HeapSys>>20)
 			}
 			if scale.Cache != nil {
 				if err := scale.Cache.Put(cacheNS, canon[i], metrics, series); err != nil {
@@ -86,15 +108,18 @@ func runCells(scale Scale, experiment, cacheNS string, cells []Scenario,
 		Steals:           stats.Steals,
 		FailedStealScans: stats.FailedStealScans,
 		MeanQueueDepth:   stats.MeanQueueDepth,
+		PeakHeapAlloc:    peakHeapAlloc,
+		PeakHeapSys:      peakHeapSys,
 	}
 	for i := range results {
 		results[i].Exec = exec
 	}
 	if scale.Debug != nil {
 		fmt.Fprintf(scale.Debug,
-			"[%s] runner: workers=%d jobs=%d local=%d steals=%d failed-scans=%d mean-queue-depth=%.1f\n",
+			"[%s] runner: workers=%d jobs=%d local=%d steals=%d failed-scans=%d mean-queue-depth=%.1f peak-heap-alloc=%dMiB peak-heap-sys=%dMiB\n",
 			experiment, exec.Workers, exec.Jobs, exec.LocalClaims, exec.Steals,
-			exec.FailedStealScans, exec.MeanQueueDepth)
+			exec.FailedStealScans, exec.MeanQueueDepth,
+			exec.PeakHeapAlloc>>20, exec.PeakHeapSys>>20)
 	}
 	return results, nil
 }

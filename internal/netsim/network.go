@@ -92,6 +92,19 @@ type port struct {
 	// msgSeq numbers this node's outgoing packets; together with the
 	// address it forms the canonical arrival-ordering key.
 	msgSeq uint64
+	// store, when non-nil, marks this as a SourceStore's virtual port:
+	// deliveries run the store's per-slot downlink and handler instead of
+	// node/down (which stay nil/unused).
+	store *SourceStore
+}
+
+// downLatency returns the propagation delay of the destination's
+// downlink, whether it is a real port or a source store's shared link.
+func (p *port) downLatency() time.Duration {
+	if p.store != nil {
+		return p.store.link.Latency
+	}
+	return p.down.cfg.Latency
 }
 
 // message is one packet in flight between shards: everything the
@@ -102,6 +115,9 @@ type message struct {
 	seq  uint64        // origin's packet counter
 	size int
 	dst  *port
+	// slot is the destination slot when dst is a source store's virtual
+	// port (-1 for real ports).
+	slot int32
 	seg  tcpkit.Segment
 }
 
@@ -139,6 +155,7 @@ type Network struct {
 	Eng    *Engine
 	shards []*netShard
 	ports  map[Addr]*port
+	stores []*SourceStore
 	pins   map[Addr]int
 
 	taps  []Tap
@@ -337,6 +354,11 @@ func (n *Network) Attach(node Node, link LinkConfig) error {
 	if _, ok := n.ports[addr]; ok {
 		return fmt.Errorf("netsim: address %v already attached", addr)
 	}
+	for _, s := range n.stores {
+		if _, ok := s.slotOf(addr); ok {
+			return fmt.Errorf("netsim: address %v falls inside macro source range at %v", addr, s.base)
+		}
+	}
 	shard := n.homeShard(addr)
 	n.ports[addr] = &port{
 		node:  node,
@@ -409,18 +431,19 @@ func (n *Network) SendFrom(origin Addr, seg tcpkit.Segment) {
 	}
 	// After the uplink serialisation and both propagation legs, the packet
 	// reaches the destination's downlink.
-	dst, haveDst := n.ports[seg.Dst]
-	if !haveDst {
+	dst, dslot := n.lookup(seg.Dst)
+	if dst == nil {
 		n.unroutable.Add(1)
 		// Still consume uplink bandwidth; nothing arrives anywhere.
 		return
 	}
 	m := message{
-		at:   departUp + src.up.cfg.Latency + dst.down.cfg.Latency,
+		at:   departUp + src.up.cfg.Latency + dst.downLatency(),
 		src:  addrKey(origin),
 		seq:  src.msgSeq,
 		size: size,
 		dst:  dst,
+		slot: dslot,
 		seg:  seg,
 	}
 	src.msgSeq++
@@ -439,7 +462,13 @@ func (n *Network) SendFrom(origin Addr, seg tcpkit.Segment) {
 // firing order is bit-compatible with the pre-pooled engine.
 func (n *Network) runArrival(e *Engine, ev *Event) {
 	m := &ev.msg
-	departDown, ok := m.dst.down.transmit(e.now, m.size)
+	var departDown time.Duration
+	var ok bool
+	if st := m.dst.store; st != nil {
+		departDown, ok = st.downTransmit(m.slot, e.now, m.size)
+	} else {
+		departDown, ok = m.dst.down.transmit(e.now, m.size)
+	}
 	if !ok {
 		n.tap(e.now, TapDrop, m.seg)
 		e.recycle(ev)
@@ -456,7 +485,25 @@ func (n *Network) runArrival(e *Engine, ev *Event) {
 // segment to the destination node.
 func (n *Network) runDeliver(e *Engine, m message) {
 	n.tap(e.now, TapDeliver, m.seg)
+	if st := m.dst.store; st != nil {
+		st.handler(m.slot, m.seg)
+		return
+	}
 	m.dst.node.Handle(m.seg)
+}
+
+// lookup resolves a destination address to its port — a real attached
+// port (slot -1) or a source store's virtual port plus slot index.
+func (n *Network) lookup(addr Addr) (*port, int32) {
+	if p, ok := n.ports[addr]; ok {
+		return p, -1
+	}
+	for _, s := range n.stores {
+		if slot, ok := s.slotOf(addr); ok {
+			return s.vport, slot
+		}
+	}
+	return nil, -1
 }
 
 // Unroutable returns how many packets were addressed to unknown nodes

@@ -1,0 +1,251 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+)
+
+// SourceAddr returns the address of source i in a population based at
+// base: the low octet cycles over 200 hosts, the next two octets carry
+// the higher digits. For i < 51200 this is exactly the botnet's historic
+// address derivation, so per-bot and macro populations with the same
+// base agree address-for-address; beyond it the second octet extends the
+// range instead of wrapping into collisions.
+func SourceAddr(base Addr, i int) Addr {
+	addr := base
+	addr[3] += byte(i % 200)
+	addr[2] += byte((i / 200) % 256)
+	addr[1] += byte(i / 51200)
+	return addr
+}
+
+// MaxSourceSlots is the largest population SourceAddr maps injectively:
+// 200 low-octet hosts × 256 × 256 higher digits.
+const MaxSourceSlots = 200 * 256 * 256
+
+// SourceStore is a struct-of-arrays population of homogeneous attack
+// sources sharing one access-link configuration: per-source state is a
+// few flat parallel slices (uplink/downlink busy-until, packet sequence)
+// instead of a port object, node object, and timer per source, so a
+// million-source flood costs tens of megabytes instead of gigabytes.
+//
+// The store occupies a single shard (the base address's home shard) and
+// is reached through the normal delivery path: packets addressed to any
+// source in the range resolve to the store's virtual port, run the
+// per-slot downlink leg, and are handed to the store's handler with the
+// slot index. Outbound packets go through SendAt, which mirrors
+// Network.SendFrom exactly — same tap order, same drop points, same
+// canonical (address, sequence) arrival key — so a store-backed source
+// is byte-indistinguishable on the wire from an attached port.
+type SourceStore struct {
+	n       *Network
+	base    Addr
+	count   int
+	link    LinkConfig
+	shard   int
+	handler func(slot int32, seg tcpkit.Segment)
+	// vport is the store's standin in the routing table: a port whose
+	// store field redirects the downlink and delivery legs to per-slot
+	// state. Its xmitters are never used.
+	vport *port
+
+	// Parallel per-slot state, indexed by source slot.
+	upBusy   []time.Duration
+	downBusy []time.Duration
+	msgSeq   []uint64
+
+	// Aggregate link counters (per-direction totals over all slots).
+	upStats   LinkStats
+	downStats LinkStats
+}
+
+// AttachSources registers a population of count sources based at base,
+// all sharing the given access link, delivering inbound segments to
+// handler(slot, seg). Like Attach it must be called before the
+// simulation runs. The population's addresses must not collide with any
+// attached port; distinct stores must use distinct first octets.
+func (n *Network) AttachSources(count int, base Addr, link LinkConfig, handler func(slot int32, seg tcpkit.Segment)) (*SourceStore, error) {
+	if count < 1 || count > MaxSourceSlots {
+		return nil, fmt.Errorf("netsim: source count %d out of range [1,%d]", count, MaxSourceSlots)
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("netsim: source store needs a handler")
+	}
+	if link.RateBps <= 0 {
+		return nil, fmt.Errorf("netsim: source store link needs a positive rate")
+	}
+	s := &SourceStore{
+		n:        n,
+		base:     base,
+		count:    count,
+		link:     link,
+		handler:  handler,
+		upBusy:   make([]time.Duration, count),
+		downBusy: make([]time.Duration, count),
+		msgSeq:   make([]uint64, count),
+	}
+	for addr := range n.ports {
+		if _, ok := s.slotOf(addr); ok {
+			return nil, fmt.Errorf("netsim: attached address %v falls inside macro source range", addr)
+		}
+	}
+	for _, other := range n.stores {
+		// Exact overlap checks over millions of slots are pointless;
+		// first-octet separation is the documented contract.
+		if other.base[0] == base[0] {
+			return nil, fmt.Errorf("netsim: macro source ranges %v and %v share first octet; use distinct prefixes", other.base, base)
+		}
+	}
+	s.shard = n.homeShard(base)
+	s.vport = &port{shard: s.shard, store: s}
+	n.stores = append(n.stores, s)
+	// Fold the shared link into the shard's latency minima exactly as
+	// Attach does: the store's slots are senders and receivers on this
+	// shard for lookahead purposes.
+	if !n.hasPort[s.shard] {
+		n.hasPort[s.shard] = true
+		n.minUp[s.shard] = link.Latency
+		n.minDown[s.shard] = link.Latency
+	} else {
+		if link.Latency < n.minUp[s.shard] {
+			n.minUp[s.shard] = link.Latency
+		}
+		if link.Latency < n.minDown[s.shard] {
+			n.minDown[s.shard] = link.Latency
+		}
+	}
+	return s, nil
+}
+
+// slotOf inverts SourceAddr over this store's range.
+func (s *SourceStore) slotOf(addr Addr) (int32, bool) {
+	if addr[0] != s.base[0] {
+		return 0, false
+	}
+	d3 := int(addr[3]-s.base[3]) & 0xff
+	if d3 >= 200 {
+		return 0, false
+	}
+	d2 := int(addr[2]-s.base[2]) & 0xff
+	d1 := int(addr[1]-s.base[1]) & 0xff
+	i := d3 + 200*d2 + 51200*d1
+	if i >= s.count {
+		return 0, false
+	}
+	return int32(i), true
+}
+
+// Count returns the population size.
+func (s *SourceStore) Count() int { return s.count }
+
+// Base returns the population's base address.
+func (s *SourceStore) Base() Addr { return s.base }
+
+// Addr returns slot i's address.
+func (s *SourceStore) Addr(slot int32) Addr { return SourceAddr(s.base, int(slot)) }
+
+// Engine returns the engine of the shard the store lives on — the engine
+// the macro driver must schedule its batch events against.
+func (s *SourceStore) Engine() *Engine { return s.n.shards[s.shard].eng }
+
+// Contains reports whether addr belongs to this population — the
+// predicate server-side metrics aggregate attacker establishments by.
+func (s *SourceStore) Contains(addr Addr) bool {
+	_, ok := s.slotOf(addr)
+	return ok
+}
+
+// Stats returns the aggregate (uplink, downlink) counters over all slots.
+func (s *SourceStore) Stats() (up, down LinkStats) { return s.upStats, s.downStats }
+
+// SendAt injects a segment through slot's uplink at simulated time at
+// (at or after the store shard's current time — the macro driver emits at
+// virtual per-source times inside a batch event). The path mirrors
+// Network.SendFrom leg for leg: tap, uplink transmit with drop-tail
+// check, destination resolution, canonical arrival key.
+//
+// A future at defers the send as an engine event at that time. The
+// per-slot busy-until accumulators assume time-ordered transmissions —
+// the same assumption every attached port's xmitter makes — and a batch
+// event emitting hundreds of milliseconds into the virtual future while
+// reply-driven sends land at real times in between would interleave them
+// out of order, inflating apparent queue delay into spurious drop-tail
+// drops. Deferring restores the per-slot time ordering, and makes the
+// cross-shard causality argument the trivial one: every transmit starts
+// at its shard's current time, exactly like SendFrom.
+func (s *SourceStore) SendAt(slot int32, at time.Duration, seg tcpkit.Segment) {
+	n := s.n
+	sh := n.shards[s.shard]
+	if now := sh.eng.Now(); at > now {
+		sh.eng.ScheduleAt(at, func() { s.SendAt(slot, at, seg) })
+		return
+	} else if at < now {
+		at = now
+	}
+	n.tap(at, TapSend, seg)
+	size := seg.WireSize()
+	departUp, ok := s.upTransmit(slot, at, size)
+	if !ok {
+		n.tap(at, TapDrop, seg)
+		return
+	}
+	dst, dslot := n.lookup(seg.Dst)
+	if dst == nil {
+		n.unroutable.Add(1)
+		return
+	}
+	m := message{
+		at:   departUp + s.link.Latency + dst.downLatency(),
+		src:  addrKey(SourceAddr(s.base, int(slot))),
+		seq:  s.msgSeq[slot],
+		size: size,
+		dst:  dst,
+		slot: dslot,
+		seg:  seg,
+	}
+	s.msgSeq[slot]++
+	if dst.shard == s.shard {
+		sh.eng.scheduleArrival(m)
+	} else {
+		sh.outbox[dst.shard] = append(sh.outbox[dst.shard], m)
+	}
+}
+
+// upTransmit is xmitter.transmit over the flat per-slot uplink state.
+func (s *SourceStore) upTransmit(slot int32, now time.Duration, size int) (time.Duration, bool) {
+	start := now
+	if b := s.upBusy[slot]; b > start {
+		start = b
+	}
+	if start-now > s.link.MaxBacklog {
+		s.upStats.Dropped++
+		return 0, false
+	}
+	ser := time.Duration(float64(size*8) / s.link.RateBps * float64(time.Second))
+	depart := start + ser
+	s.upBusy[slot] = depart
+	s.upStats.SentPackets++
+	s.upStats.SentBytes += uint64(size)
+	return depart, true
+}
+
+// downTransmit is the per-slot downlink leg, run by runArrival on the
+// store's home shard.
+func (s *SourceStore) downTransmit(slot int32, now time.Duration, size int) (time.Duration, bool) {
+	start := now
+	if b := s.downBusy[slot]; b > start {
+		start = b
+	}
+	if start-now > s.link.MaxBacklog {
+		s.downStats.Dropped++
+		return 0, false
+	}
+	ser := time.Duration(float64(size*8) / s.link.RateBps * float64(time.Second))
+	depart := start + ser
+	s.downBusy[slot] = depart
+	s.downStats.SentPackets++
+	s.downStats.SentBytes += uint64(size)
+	return depart, true
+}

@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+)
+
+func TestSourceAddrRoundTrip(t *testing.T) {
+	base := Addr{100, 2, 0, 1}
+	s := &SourceStore{base: base, count: MaxSourceSlots}
+	for _, i := range []int{0, 1, 199, 200, 51199, 51200, 1_000_000, MaxSourceSlots - 1} {
+		addr := SourceAddr(base, i)
+		slot, ok := s.slotOf(addr)
+		if !ok || int(slot) != i {
+			t.Fatalf("slotOf(SourceAddr(%d)) = %d,%v", i, slot, ok)
+		}
+	}
+	if _, ok := s.slotOf(Addr{101, 2, 0, 1}); ok {
+		t.Fatalf("foreign first octet resolved to a slot")
+	}
+}
+
+// SourceAddr must agree with the botnet's historic derivation for the
+// first 51200 sources (addr[3] += i%200; addr[2] += i/200).
+func TestSourceAddrMatchesBotnetDerivation(t *testing.T) {
+	base := Addr{10, 2, 0, 1}
+	for _, i := range []int{0, 5, 199, 200, 12345, 51199} {
+		want := base
+		want[3] += byte(i % 200)
+		want[2] += byte(i / 200)
+		if got := SourceAddr(base, i); got != want {
+			t.Fatalf("SourceAddr(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+type sinkNode struct {
+	addr     Addr
+	got      []tcpkit.Segment
+	at       []time.Duration
+	eng      *Engine
+	reply    bool
+	replyNet *Network
+}
+
+func (s *sinkNode) Addr() Addr { return s.addr }
+func (s *sinkNode) Handle(seg tcpkit.Segment) {
+	s.got = append(s.got, seg)
+	s.at = append(s.at, s.eng.Now())
+	if s.reply {
+		s.replyNet.Send(tcpkit.Segment{Src: s.addr, Dst: seg.Src, SrcPort: seg.DstPort, DstPort: seg.SrcPort, Flags: tcpkit.FlagSYN | tcpkit.FlagACK})
+	}
+}
+
+// A store-backed source must be wire-identical to an attached port: same
+// delivery time at the destination, and replies must route back into the
+// store's handler with the right slot.
+func TestStoreSendMatchesPortSend(t *testing.T) {
+	link := DefaultHostLink()
+	seg := func(src Addr) tcpkit.Segment {
+		return tcpkit.Segment{Src: src, Dst: Addr{10, 0, 0, 1}, SrcPort: 3333, DstPort: 80, Flags: tcpkit.FlagSYN}
+	}
+
+	// Reference run: one attached port.
+	refEng := NewEngine()
+	refNet := NewNetwork(refEng)
+	refSink := &sinkNode{addr: Addr{10, 0, 0, 1}, eng: refEng}
+	if err := refNet.Attach(refSink, DefaultServerLink()); err != nil {
+		t.Fatal(err)
+	}
+	srcAddr := Addr{20, 2, 0, 1}
+	srcNode := &sinkNode{addr: srcAddr, eng: refEng}
+	if err := refNet.Attach(srcNode, link); err != nil {
+		t.Fatal(err)
+	}
+	refNet.SendFrom(srcAddr, seg(srcAddr))
+	refEng.Run(time.Second)
+
+	// Store run: same topology, source backed by a one-slot store.
+	eng2 := NewEngine()
+	net2 := NewNetwork(eng2)
+	sink2 := &sinkNode{addr: Addr{10, 0, 0, 1}, eng: eng2}
+	if err := net2.Attach(sink2, DefaultServerLink()); err != nil {
+		t.Fatal(err)
+	}
+	var gotSlot int32 = -1
+	var gotReply tcpkit.Segment
+	store, err := net2.AttachSources(1, srcAddr, link, func(slot int32, s tcpkit.Segment) {
+		gotSlot, gotReply = slot, s
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink2.reply, sink2.replyNet = true, net2
+	store.SendAt(0, 0, seg(srcAddr))
+	eng2.Run(time.Second)
+
+	if len(refSink.got) != 1 || len(sink2.got) != 1 {
+		t.Fatalf("deliveries: ref=%d store=%d", len(refSink.got), len(sink2.got))
+	}
+	if refSink.at[0] != sink2.at[0] {
+		t.Fatalf("delivery time differs: port %v vs store %v", refSink.at[0], sink2.at[0])
+	}
+	if gotSlot != 0 {
+		t.Fatalf("reply slot = %d, want 0", gotSlot)
+	}
+	if !gotReply.Flags.Has(tcpkit.FlagSYN | tcpkit.FlagACK) {
+		t.Fatalf("reply flags = %v", gotReply.Flags)
+	}
+	up, _ := store.Stats()
+	if up.SentPackets != 1 {
+		t.Fatalf("store uplink packets = %d", up.SentPackets)
+	}
+}
+
+func TestAttachOverlapRejected(t *testing.T) {
+	net := NewNetwork(NewEngine())
+	base := Addr{10, 2, 0, 1}
+	if _, err := net.AttachSources(100, base, DefaultHostLink(), func(int32, tcpkit.Segment) {}); err != nil {
+		t.Fatal(err)
+	}
+	// A port inside the range must be rejected.
+	n := &sinkNode{addr: SourceAddr(base, 50)}
+	if err := net.Attach(n, DefaultHostLink()); err == nil {
+		t.Fatalf("attach inside macro range succeeded")
+	}
+	// A second store sharing the first octet must be rejected.
+	if _, err := net.AttachSources(10, Addr{10, 200, 0, 1}, DefaultHostLink(), func(int32, tcpkit.Segment) {}); err == nil {
+		t.Fatalf("same-prefix second store succeeded")
+	}
+	// And the reverse: a store over an attached port's address.
+	net2 := NewNetwork(NewEngine())
+	if err := net2.Attach(&sinkNode{addr: SourceAddr(base, 3)}, DefaultHostLink()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net2.AttachSources(100, base, DefaultHostLink(), func(int32, tcpkit.Segment) {}); err == nil {
+		t.Fatalf("store over attached port succeeded")
+	}
+}

@@ -52,6 +52,13 @@ type Metrics struct {
 	RequestsServed      uint64
 	IdleTimeouts        uint64
 
+	// aggMatch, when set, routes matching sources' establishments into
+	// the single EstablishedAgg series instead of per-source map entries,
+	// keeping server-side attacker accounting O(1) in population size —
+	// a million macro sources cost one series, not a million.
+	aggMatch       func([4]byte) bool
+	EstablishedAgg *stats.Series
+
 	bucket time.Duration
 }
 
@@ -69,9 +76,42 @@ func New(bucket time.Duration) *Metrics {
 	}
 }
 
+// AggregateSrcs registers a source-population predicate: establishments
+// from matching sources are accumulated in one aggregate series rather
+// than per source. Register before the simulation runs; per-source
+// queries (EstablishedRateFor) do not see aggregated sources.
+func (m *Metrics) AggregateSrcs(match func([4]byte) bool) {
+	m.aggMatch = match
+	m.EstablishedAgg = stats.NewSeries(m.bucket)
+}
+
+// AggregateEstablishedRate returns the aggregated population's completed
+// connections per second. Integer bucket counts, so for a population with
+// the same establishments it is bit-identical to EstablishedRateFor over
+// the member list.
+func (m *Metrics) AggregateEstablishedRate(until time.Duration) []float64 {
+	if m.EstablishedAgg == nil {
+		return stats.NewSeries(m.bucket).RatePerSecond(until)
+	}
+	return m.EstablishedAgg.RatePerSecond(until)
+}
+
+// AggregateEstablishedTotal counts the aggregated population's completed
+// connections over [from, to).
+func (m *Metrics) AggregateEstablishedTotal(from, to time.Duration) float64 {
+	if m.EstablishedAgg == nil {
+		return 0
+	}
+	return m.EstablishedAgg.SumRange(from, to)
+}
+
 // RecordEstablished accounts one completed handshake, total and per source.
 func (m *Metrics) RecordEstablished(at time.Duration, peer tcpkit.PeerKey) {
 	m.Established.Add(at, 1)
+	if m.aggMatch != nil && m.aggMatch(peer.IP) {
+		m.EstablishedAgg.Add(at, 1)
+		return
+	}
 	srcSeries, ok := m.EstablishedBySrc[peer.IP]
 	if !ok {
 		srcSeries = stats.NewSeries(m.bucket)

@@ -114,5 +114,12 @@ func NewISNSource(seed int64) *ISNSource {
 	return &ISNSource{rnd: rand.New(rand.NewSource(seed))}
 }
 
+// NewISNSourceFrom returns a generator drawing from the caller's source —
+// used by compact per-source state (an 8-byte splitmix state per source
+// instead of the ~5 KB default source).
+func NewISNSourceFrom(src rand.Source) *ISNSource {
+	return &ISNSource{rnd: rand.New(src)}
+}
+
 // Next returns a fresh ISN.
 func (g *ISNSource) Next() uint32 { return g.rnd.Uint32() }

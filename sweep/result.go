@@ -30,6 +30,12 @@ type ExecStats struct {
 	Steals           int64
 	FailedStealScans int64
 	MeanQueueDepth   float64
+	// PeakHeapAlloc and PeakHeapSys are the largest live-heap and
+	// OS-reserved-heap sizes (bytes) sampled after any cell of the grid
+	// completed — the memory headroom signal for scale runs. Sampled
+	// process-wide, so concurrent cells share one peak.
+	PeakHeapAlloc uint64
+	PeakHeapSys   uint64
 }
 
 // Result is the structured record of one completed grid cell: the

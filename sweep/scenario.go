@@ -128,6 +128,18 @@ type Scenario struct {
 	// BotMaxSolveBacklog makes solving bots "smart": they discard stale
 	// challenges instead of queueing greedily (zero = greedy default).
 	BotMaxSolveBacklog time.Duration
+	// MacroSources, when positive, replaces the per-bot botnet with a
+	// macro-aggregated population of that many attack sources, each
+	// attacking at PerBotRate through the same registered strategy —
+	// flat per-source state and O(batches) events, so 10⁵–10⁶-source
+	// floods run in bounded memory. Zero keeps the per-bot botnet (and,
+	// via omitempty, every pre-existing cache hash).
+	MacroSources int `json:",omitempty"`
+	// CompactBotRNG draws per-bot randomness from the compact splitmix
+	// source macro fleets use — the knob that makes a per-bot run
+	// draw-for-draw comparable to its macro-aggregated equivalent.
+	// Default (false) keeps the historic stdlib RNG stream and hashes.
+	CompactBotRNG bool `json:",omitempty"`
 
 	// Seed drives all randomness; equal seeds reproduce runs bit-for-bit.
 	// Every scenario builds its own RNG from this seed, so grids of
