@@ -56,6 +56,20 @@ func TestDefenseConformance(t *testing.T) {
 				if !reflect.DeepEqual(info, reg) {
 					t.Errorf("Describe() = %+v, registration = %+v", info, reg)
 				}
+				// Cache-identity law: the paper's four baselines keep their
+				// pre-registry hashes via empty fingerprints; every later
+				// plugin must carry a non-empty versioned fingerprint so its
+				// cells can never alias a legacy cache entry.
+				legacy := map[sweep.Defense]bool{
+					sweep.DefenseNone: true, sweep.DefenseCookies: true,
+					sweep.DefenseSYNCache: true, sweep.DefensePuzzles: true,
+				}
+				if legacy[name] && info.Fingerprint != "" {
+					t.Errorf("legacy defense %q grew fingerprint %q; legacy cache hashes would shift", name, info.Fingerprint)
+				}
+				if !legacy[name] && info.Fingerprint == "" {
+					t.Errorf("non-paper defense %q has no fingerprint; its cache identity is ambiguous", name)
+				}
 			})
 
 			t.Run("activation-latch", func(t *testing.T) {
@@ -108,6 +122,34 @@ func TestDefenseConformance(t *testing.T) {
 				}
 			})
 
+			t.Run("params-wire-range", func(t *testing.T) {
+				// Whatever a defense does to the puzzle engine at runtime
+				// (the adaptive plugin retunes it every tick), the deployed
+				// parameters must stay inside the wire format's valid range
+				// for the whole run.
+				sc := conformanceScale().Apply(sweep.Scenario{
+					Label: "wire", Defense: name, Attack: sweep.AttackSYNFlood,
+					ClientsSolve: true,
+				})
+				run, err := experiments.RunFlood(sc)
+				if err != nil {
+					t.Fatalf("RunFlood: %v", err)
+				}
+				if p := run.Server.Issuer().Params(); p.Validate() != nil {
+					t.Errorf("final deployed params %v invalid: %v", p, p.Validate())
+				}
+				// The adaptive controller exposes its whole deployment
+				// history — every tick's params must validate, not just the
+				// final state the run happened to end on.
+				if ap, ok := run.Server.Defense().(*defense.AdaptivePuzzles); ok {
+					for _, s := range ap.Trace() {
+						if err := s.Params.Validate(); err != nil {
+							t.Errorf("tick %v deployed invalid params %v: %v", s.At, s.Params, err)
+						}
+					}
+				}
+			})
+
 			t.Run("determinism-shards", func(t *testing.T) {
 				sc := conformanceScale().Apply(sweep.Scenario{
 					Label: "det", Defense: name, Attack: sweep.AttackConnFlood,
@@ -128,5 +170,48 @@ func TestDefenseConformance(t *testing.T) {
 				}
 			})
 		})
+	}
+}
+
+// TestAdaptiveCellsCacheRoundTrip proves the adaptive plugins are
+// full cache citizens: a rerun of the arms-race grid against a warm cache
+// does zero simulation work (100% hits, zero new misses) and reproduces
+// every metric and trajectory series value-for-value from the stored JSON.
+func TestAdaptiveCellsCacheRoundTrip(t *testing.T) {
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := conformanceScale()
+	scale.Cache = cache
+	first, err := experiments.ArmsRace(scale)
+	if err != nil {
+		t.Fatalf("cold ArmsRace: %v", err)
+	}
+	misses := cache.Misses()
+	if misses == 0 || cache.Hits() != 0 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0 hits and one miss per cell", cache.Hits(), misses)
+	}
+	second, err := experiments.ArmsRace(scale)
+	if err != nil {
+		t.Fatalf("warm ArmsRace: %v", err)
+	}
+	if cache.Misses() != misses {
+		t.Errorf("warm run missed %d times, want 100%% hits", cache.Misses()-misses)
+	}
+	if cache.Hits() != misses {
+		t.Errorf("warm run hits = %d, want %d (every cell)", cache.Hits(), misses)
+	}
+	if len(first.Results) != len(second.Results) {
+		t.Fatalf("result count changed across cache: %d vs %d", len(first.Results), len(second.Results))
+	}
+	for i := range first.Results {
+		a, b := first.Results[i], second.Results[i]
+		if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+			t.Errorf("cell %q: metrics changed through the cache:\n%v\nvs\n%v", a.Scenario.Label, a.Metrics, b.Metrics)
+		}
+		if !reflect.DeepEqual(a.Series, b.Series) {
+			t.Errorf("cell %q: series changed through the cache", a.Scenario.Label)
+		}
 	}
 }

@@ -85,6 +85,55 @@ func TestBestResponseDynamicsHardPuzzlesShutOutClients(t *testing.T) {
 	}
 }
 
+func TestBestResponseDynamicsStartAtEquilibrium(t *testing.T) {
+	// Starting exactly at the Nash point, the first sweep must change
+	// nothing: every best response equals the current rate, so the run
+	// converges immediately (one round, zero rounds of change).
+	g := UniformGame(8, 3000, 120)
+	l := 500.0
+	start, err := g.EquilibriumRates(l)
+	if err != nil {
+		t.Fatalf("EquilibriumRates: %v", err)
+	}
+	dyn, err := g.BestResponseDynamics(l, start, 500, 1e-6)
+	if err != nil {
+		t.Fatalf("BestResponseDynamics: %v", err)
+	}
+	if !dyn.Converged {
+		t.Fatalf("did not converge from the equilibrium (maxDelta=%v)", dyn.MaxDelta)
+	}
+	if dyn.Rounds != 1 {
+		t.Errorf("Rounds = %d from the equilibrium, want 1", dyn.Rounds)
+	}
+	for i := range start {
+		if math.Abs(dyn.Rates[i]-start[i]) > 1e-5 {
+			t.Errorf("client %d drifted from equilibrium: %v -> %v", i, start[i], dyn.Rates[i])
+		}
+	}
+}
+
+func TestBestResponseDynamicsSingleClient(t *testing.T) {
+	// Degenerate N=1: no opponents, so the "dynamics" are one damped
+	// approach to the client's own best response — and the fixed point must
+	// still match the analytic equilibrium.
+	g := UniformGame(1, 1000, 40)
+	l := 50.0
+	dyn, err := g.BestResponseDynamics(l, nil, 500, 1e-8)
+	if err != nil {
+		t.Fatalf("BestResponseDynamics: %v", err)
+	}
+	if !dyn.Converged {
+		t.Fatal("single-client dynamics did not converge")
+	}
+	want, err := g.EquilibriumRates(l)
+	if err != nil {
+		t.Fatalf("EquilibriumRates: %v", err)
+	}
+	if math.Abs(dyn.Rates[0]-want[0]) > 0.01*(1+want[0]) {
+		t.Errorf("single client: dynamics %v vs analytic %v", dyn.Rates[0], want[0])
+	}
+}
+
 func TestBestResponseDynamicsValidation(t *testing.T) {
 	g := UniformGame(3, 100, 50)
 	if _, err := g.BestResponseDynamics(-1, nil, 10, 1e-6); err == nil {

@@ -1,0 +1,103 @@
+package game
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestReplicatorStepConvergesToDominantArm(t *testing.T) {
+	// A strictly dominant arm absorbs essentially all non-floor mass. The
+	// ideal fixed point under an exploration floor f is 1 − (n−1)·f for the
+	// winner and f for everyone else; the exploration baseline (10% of the
+	// payoff spread) keeps the losers' fitness marginally positive, so the
+	// real fixed point sits within 0.01 of that ideal, not exactly on it.
+	const floor = 0.02
+	shares := UniformShares(3)
+	payoffs := []float64{1.0, 0.2, 0.1}
+	var prev []float64
+	for i := 0; i < 200; i++ {
+		next, err := ReplicatorStep(shares, payoffs, floor)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		prev, shares = shares, next
+	}
+	// The dynamics must actually have settled by step 200.
+	for i := range shares {
+		if math.Abs(shares[i]-prev[i]) > 1e-9 {
+			t.Errorf("share %d still moving at step 200: %v -> %v", i, prev[i], shares[i])
+		}
+	}
+	want := 1 - 2*floor
+	if math.Abs(shares[0]-want) > 0.01 {
+		t.Errorf("dominant share = %v, want %v within 0.01", shares[0], want)
+	}
+	for i := 1; i < 3; i++ {
+		if shares[i] < floor-1e-9 || shares[i] > floor+0.01 {
+			t.Errorf("losing share %d = %v, want within [floor, floor+0.01] = [%v, %v]",
+				i, shares[i], floor, floor+0.01)
+		}
+	}
+}
+
+func TestReplicatorStepEqualPayoffsHoldShares(t *testing.T) {
+	shares := []float64{0.5, 0.3, 0.2}
+	next, err := ReplicatorStep(shares, []float64{2, 2, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shares {
+		if math.Abs(next[i]-shares[i]) > 1e-12 {
+			t.Errorf("share %d moved under equal payoffs: %v -> %v", i, shares[i], next[i])
+		}
+	}
+}
+
+func TestReplicatorStepSumsToOne(t *testing.T) {
+	shares := []float64{0.7, 0.2, 0.1}
+	for i := 0; i < 50; i++ {
+		next, err := ReplicatorStep(shares, []float64{float64(i % 3), 1, -2}, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range next {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("step %d: shares sum to %v", i, sum)
+		}
+		shares = next
+	}
+}
+
+func TestReplicatorStepValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		shares  []float64
+		payoffs []float64
+		floor   float64
+	}{
+		{"empty", nil, nil, 0},
+		{"length mismatch", []float64{1}, []float64{1, 2}, 0},
+		{"negative share", []float64{1.5, -0.5}, []float64{1, 1}, 0},
+		{"not a distribution", []float64{0.4, 0.4}, []float64{1, 1}, 0},
+		{"negative floor", []float64{0.5, 0.5}, []float64{1, 1}, -0.1},
+		{"floor too large", []float64{0.5, 0.5}, []float64{1, 1}, 0.5},
+	}
+	for _, tc := range cases {
+		if _, err := ReplicatorStep(tc.shares, tc.payoffs, tc.floor); !errors.Is(err, ErrInvalidModel) {
+			t.Errorf("%s: err = %v, want ErrInvalidModel", tc.name, err)
+		}
+	}
+}
+
+func TestUniformShares(t *testing.T) {
+	shares := UniformShares(4)
+	for i, v := range shares {
+		if v != 0.25 {
+			t.Errorf("shares[%d] = %v, want 0.25", i, v)
+		}
+	}
+}

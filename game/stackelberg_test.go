@@ -75,6 +75,38 @@ func TestParamsFor(t *testing.T) {
 	}
 }
 
+// TestParamsForRoundTripProperty pins the bit-rounding envelope the
+// adaptive defender leans on: for any attainable target ℓ* ≥ k, the
+// deployed difficulty k·2^(m−1) is never easier than ℓ* and never more
+// than a factor of 2 harder (m rounds up to whole bits, so a controller
+// chasing ℓ* lands in [ℓ*, 2ℓ*)).
+func TestParamsForRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		// Deterministic spread over ℓ* ∈ [k, 2^30) and k ∈ {1..4}.
+		u := uint64(seed)
+		u ^= u >> 33
+		u *= 0xff51afd7ed558ccd
+		u ^= u >> 33
+		k := uint8(1 + u%4)
+		exp := float64(u%3000) / 100.0 // 0..30 bits
+		lstar := float64(k) * math.Exp2(exp)
+		p, err := ParamsFor(lstar, k, puzzle.MaxPreimageBits)
+		if err != nil {
+			t.Logf("ParamsFor(%v, %d): %v", lstar, k, err)
+			return false
+		}
+		work := p.ExpectedSolveHashes()
+		if work < lstar || work >= 2*lstar {
+			t.Logf("ParamsFor(%v, %d) deploys %v hashes, outside [ℓ*, 2ℓ*)", lstar, k, work)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestParamsForRespectsPreimage(t *testing.T) {
 	// m may not exceed l.
 	if _, err := ParamsFor(math.Exp2(40), 1, 32); !errors.Is(err, ErrUnattainable) {

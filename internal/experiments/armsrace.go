@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tcppuzzles/tcppuzzles/attack"
+	"github.com/tcppuzzles/tcppuzzles/defense"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
+)
+
+// ArmsRaceGrid declares the in-run arms race: the adaptive plugins play
+// against static opponents and against each other. Clients and bots both
+// solve, so raising the difficulty genuinely costs the attacker CPU and
+// the replicator has a real trade-off to learn.
+func ArmsRaceGrid() sweep.Grid {
+	return sweep.Grid{
+		Base: Scenario{ClientsSolve: true, BotsSolve: true},
+		Axes: []sweep.Axis{sweep.Variants("cell",
+			sweep.Point{Label: "adaptive-defense", Set: func(sc *Scenario) {
+				sc.Defense = DefenseAdaptivePuzzles
+				sc.Attack = AttackConnFlood
+			}},
+			sweep.Point{Label: "adaptive-attack", Set: func(sc *Scenario) {
+				sc.Defense = DefensePuzzles
+				sc.Attack = AttackAdaptiveFlood
+			}},
+			sweep.Point{Label: "adaptive-both", Set: func(sc *Scenario) {
+				sc.Defense = DefenseAdaptivePuzzles
+				sc.Attack = AttackAdaptiveFlood
+			}},
+		)},
+	}
+}
+
+// ArmsRaceResult is the adaptive arms race: per-cell trajectories of the
+// defender's deployed difficulty and the attacker's budget shares, plus
+// convergence distances to the static-equilibrium predictions.
+type ArmsRaceResult struct {
+	Results []sweep.Result
+	// Runs are the live runs, index-aligned with Results (nil on cache
+	// hits — everything Table renders comes from Results).
+	Runs []*FloodRun
+}
+
+// ArmsRace runs the arms-race grid and reports convergence against the
+// static game predictions: the defender's deployed work level at the end
+// of the attack window against game.FiniteGame's Stackelberg optimum for
+// the true attack rate (defender_gap_bits), and the attacker's final
+// budget concentration against the replicator fixed point for a dominant
+// arm (attacker_gap).
+//
+// Smoke cost: the three-cell grid completes in ~0.2 s at -scale tiny and
+// ~0.8 s at -scale quick single-threaded, so the driver is cheap enough
+// for the CI cache round-trip; no dedicated bench file is warranted.
+func ArmsRace(scale Scale) (*ArmsRaceResult, error) {
+	results, runs, err := runFloodCells(scale, "armsrace", "",
+		ArmsRaceGrid().Expand(&scale), armsraceMetrics)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: arms race: %w", err)
+	}
+	return &ArmsRaceResult{Results: results, Runs: runs}, nil
+}
+
+// armsraceMetrics extracts the adaptive trajectories from a live run. The
+// series schema (see docs/EXPERIMENTS.md): difficulty_m and
+// attack_estimate per bucket for adaptive defenders; share_<arm> per
+// replicator epoch (averaged across bots) for adaptive attackers.
+func armsraceMetrics(run *FloodRun) ([]sweep.Metric, []sweep.Series) {
+	metrics := []sweep.Metric{
+		{Name: "attacker_established_during", Value: phaseMean(run, run.AttackerEstablishedRate(), phaseDuring)},
+		{Name: "client_mbps_during", Value: phaseMean(run, run.ClientThroughputMbps(), phaseDuring)},
+	}
+	var series []sweep.Series
+
+	// True aggregate attack rate of the cell — what the defender's
+	// estimator is chasing and the prediction is computed from.
+	trueRate := float64(run.Cfg.BotCount) * run.Cfg.PerBotRate
+	if run.Cfg.MacroSources > 0 {
+		trueRate = float64(run.Cfg.MacroSources) * run.Cfg.PerBotRate
+	}
+
+	if ap, ok := run.Server.Defense().(*defense.AdaptivePuzzles); ok {
+		m := run.Server.Metrics().DifficultyM.Sampled(run.Cfg.Bucket, run.Cfg.Duration)
+		for i, v := range m {
+			if v == 0 {
+				m[i] = float64(run.Cfg.Params.M)
+			}
+		}
+		series = append(series, sweep.Series{Name: "difficulty_m", Values: m})
+
+		est := make([]float64, int(run.Cfg.Duration/run.Cfg.Bucket))
+		for _, s := range ap.Trace() {
+			if i := int(s.At / run.Cfg.Bucket); i >= 0 && i < len(est) {
+				est[i] = s.AttackRate
+			}
+		}
+		series = append(series, sweep.Series{Name: "attack_estimate", Values: est})
+
+		if sample, ok := ap.TraceAt(run.Cfg.AttackStop); ok {
+			lFinal := sample.Params.ExpectedSolveHashes()
+			metrics = append(metrics,
+				sweep.Metric{Name: "l_final", Value: lFinal},
+				sweep.Metric{Name: "attack_rate_estimate", Value: sample.AttackRate},
+			)
+			// Emitted only when the prediction computes: the cache stores
+			// metrics as JSON, which cannot carry an Inf sentinel.
+			if lPred, err := defense.AdaptiveGame(trueRate).OptimalDifficulty(); err == nil {
+				metrics = append(metrics,
+					sweep.Metric{Name: "l_pred", Value: lPred},
+					sweep.Metric{Name: "defender_gap_bits", Value: math.Abs(math.Log2(lFinal / lPred))},
+				)
+			}
+		}
+	}
+
+	if run.Botnet != nil {
+		var traces [][][]float64
+		var names []sweep.Attack
+		for _, b := range run.Botnet.Bots {
+			if af, ok := b.Strategy().(*attack.AdaptiveFlood); ok {
+				traces = append(traces, af.ShareTrace())
+				if names == nil {
+					names = af.ArmNames()
+				}
+			}
+		}
+		if len(traces) > 0 {
+			epochs := len(traces[0])
+			for _, tr := range traces {
+				if len(tr) < epochs {
+					epochs = len(tr)
+				}
+			}
+			mean := make([][]float64, len(names))
+			for a := range names {
+				mean[a] = make([]float64, epochs)
+				for e := 0; e < epochs; e++ {
+					for _, tr := range traces {
+						mean[a][e] += tr[e][a] / float64(len(traces))
+					}
+				}
+				series = append(series, sweep.Series{
+					Name: "share_" + string(names[a]), Values: mean[a],
+				})
+			}
+			if epochs > 0 {
+				top := 0.0
+				for a := range names {
+					if v := mean[a][epochs-1]; v > top {
+						top = v
+					}
+				}
+				fixedPoint := 1 - float64(len(names)-1)*attack.AdaptiveExplorationFloor
+				metrics = append(metrics,
+					sweep.Metric{Name: "attacker_top_share", Value: top},
+					sweep.Metric{Name: "attacker_gap", Value: math.Abs(fixedPoint - top)},
+				)
+			}
+		}
+	}
+	return metrics, series
+}
+
+// DefenderGapBits returns the named cell's convergence distance in
+// difficulty bits (NaN when the cell has no adaptive defender).
+func (r *ArmsRaceResult) DefenderGapBits(label string) float64 {
+	return r.metric(label, "defender_gap_bits")
+}
+
+// AttackerGap returns the named cell's distance from the replicator fixed
+// point (NaN when the cell has no adaptive attacker).
+func (r *ArmsRaceResult) AttackerGap(label string) float64 {
+	return r.metric(label, "attacker_gap")
+}
+
+func (r *ArmsRaceResult) metric(label, name string) float64 {
+	for _, res := range r.Results {
+		if res.Scenario.Label == label {
+			if v, ok := res.Lookup(name); ok {
+				return v
+			}
+		}
+	}
+	return math.NaN()
+}
+
+// Table renders the arms race: standard during-attack measurements, the
+// convergence distances, and sparkline trajectories (deployed difficulty,
+// winning arm's budget share).
+func (r *ArmsRaceResult) Table() Table {
+	t := Table{
+		Title:  "Adaptive arms race — in-run convergence to the game equilibria",
+		Header: []string{"cell", "att-cps", "cli-Mbps", "def-gap-bits", "atk-gap", "m-trace", "top-share-trace"},
+	}
+	for _, res := range r.Results {
+		mTrace, shareTrace := "", ""
+		if m := res.SeriesValues("difficulty_m"); m != nil {
+			mTrace = sparkline(downsample(m, 30))
+		}
+		var topShare []float64
+		for _, s := range res.Series {
+			if len(s.Name) > 6 && s.Name[:6] == "share_" {
+				if topShare == nil {
+					topShare = make([]float64, len(s.Values))
+				}
+				for i, v := range s.Values {
+					if i < len(topShare) && v > topShare[i] {
+						topShare[i] = v
+					}
+				}
+			}
+		}
+		if topShare != nil {
+			shareTrace = sparkline(downsample(topShare, 30))
+		}
+		t.Rows = append(t.Rows, []string{
+			res.Scenario.Label,
+			f2(res.Metric("attacker_established_during")),
+			f2(res.Metric("client_mbps_during")),
+			optMetric(res, "defender_gap_bits"),
+			optMetric(res, "attacker_gap"),
+			mTrace,
+			shareTrace,
+		})
+	}
+	return t
+}
+
+// optMetric renders a metric that only adaptive cells carry.
+func optMetric(res sweep.Result, name string) string {
+	if v, ok := res.Lookup(name); ok {
+		return f2(v)
+	}
+	return "-"
+}

@@ -65,7 +65,10 @@ func measure(t *testing.T, sc Scenario) []byte {
 // floods — the strategies whose per-source randomness is draw-for-draw
 // reproducible through the fleet's shared RNG wrapper (see MacroFleet).
 func TestMacroPerBotDifferential(t *testing.T) {
-	for _, attack := range []sweep.Attack{AttackSYNFlood, AttackPulseFlood} {
+	// adaptive-flood rides the same oracle: its replicator state is
+	// per-instance (per bot / per macro slot) and its draws are Read-free,
+	// so learned budget shares must be draw-for-draw identical too.
+	for _, attack := range []sweep.Attack{AttackSYNFlood, AttackPulseFlood, AttackAdaptiveFlood} {
 		var want []byte
 		for _, shards := range []int{1, 2, 4} {
 			perBot := diffScenario(attack)

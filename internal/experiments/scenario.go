@@ -27,18 +27,20 @@ type (
 
 // Re-exported enum values and sentinels.
 const (
-	DefenseNone      = sweep.DefenseNone
-	DefenseCookies   = sweep.DefenseCookies
-	DefenseSYNCache  = sweep.DefenseSYNCache
-	DefensePuzzles   = sweep.DefensePuzzles
-	DefenseHybrid    = sweep.DefenseHybrid
-	DefenseRateLimit = sweep.DefenseRateLimit
+	DefenseNone            = sweep.DefenseNone
+	DefenseCookies         = sweep.DefenseCookies
+	DefenseSYNCache        = sweep.DefenseSYNCache
+	DefensePuzzles         = sweep.DefensePuzzles
+	DefenseHybrid          = sweep.DefenseHybrid
+	DefenseRateLimit       = sweep.DefenseRateLimit
+	DefenseAdaptivePuzzles = sweep.DefenseAdaptivePuzzles
 
 	AttackSYNFlood      = sweep.AttackSYNFlood
 	AttackConnFlood     = sweep.AttackConnFlood
 	AttackSolutionFlood = sweep.AttackSolutionFlood
 	AttackReplayFlood   = sweep.AttackReplayFlood
 	AttackPulseFlood    = sweep.AttackPulseFlood
+	AttackAdaptiveFlood = sweep.AttackAdaptiveFlood
 
 	// NoBotnet as a Scenario.BotCount disables the botnet entirely.
 	NoBotnet = sweep.NoBotnet

@@ -51,6 +51,23 @@ func shardMatrixGrid() sweep.Grid {
 				sc.Attack = AttackConnFlood
 				sc.MacroSources = 40
 			}},
+			// The adaptive arms race: in-run difficulty retuning and
+			// replicator budget reallocation must adapt identically at
+			// every shard count — both plugins derive state only from
+			// their own observation streams, and this is where that
+			// contract is enforced.
+			sweep.Point{Label: "adaptive-conn", Set: func(sc *Scenario) {
+				sc.Defense = DefenseAdaptivePuzzles
+				sc.Attack = AttackConnFlood
+			}},
+			sweep.Point{Label: "puzzles-adaptiveflood", Set: func(sc *Scenario) {
+				sc.Defense = DefensePuzzles
+				sc.Attack = AttackAdaptiveFlood
+			}},
+			sweep.Point{Label: "adaptive-adaptive", Set: func(sc *Scenario) {
+				sc.Defense = DefenseAdaptivePuzzles
+				sc.Attack = AttackAdaptiveFlood
+			}},
 		)},
 	}
 }

@@ -267,6 +267,13 @@ var registry = []registryEntry{
 		}
 		return []Table{fromInternal(r.Table())}, nil
 	}},
+	{"armsrace", func(scale experiments.Scale) ([]Table, error) {
+		r, err := experiments.ArmsRace(scale)
+		if err != nil {
+			return nil, err
+		}
+		return []Table{fromInternal(r.Table())}, nil
+	}},
 }
 
 // ExperimentIDs returns the available experiment identifiers in display

@@ -161,7 +161,7 @@ func TestExperimentIDsComplete(t *testing.T) {
 		"fig3a", "fig3b", "fig6", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "tab1", "nash",
 		"ablation-opportunistic", "ablation-solutionflood",
-		"ablation-membound", "ablation-adaptive",
+		"ablation-membound", "ablation-adaptive", "armsrace",
 	}
 	if len(ids) != len(want) {
 		t.Fatalf("got %d experiments, want %d: %v", len(ids), len(want), ids)

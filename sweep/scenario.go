@@ -28,6 +28,11 @@ const (
 	// baseline: above the high watermark each SYN is dropped with a
 	// probability that rises linearly with listen-queue occupancy.
 	DefenseRateLimit Defense = "ratelimit"
+	// DefenseAdaptivePuzzles retunes puzzle difficulty during the run:
+	// each tick it estimates the attack rate from SYN-arrival metrics,
+	// solves the game-theoretic Stackelberg best response for the
+	// estimated model, and deploys the resulting (K, M) live.
+	DefenseAdaptivePuzzles Defense = "adaptive-puzzles"
 )
 
 // KnownDefenses lists every Defense value this module ships a plugin for,
@@ -36,7 +41,7 @@ const (
 func KnownDefenses() []Defense {
 	return []Defense{
 		DefenseNone, DefenseCookies, DefenseSYNCache, DefensePuzzles,
-		DefenseHybrid, DefenseRateLimit,
+		DefenseHybrid, DefenseRateLimit, DefenseAdaptivePuzzles,
 	}
 }
 
@@ -56,6 +61,10 @@ const (
 	// probing the challenge controller's engage/release latch instead of
 	// applying constant pressure.
 	AttackPulseFlood Attack = "pulseflood"
+	// AttackAdaptiveFlood reallocates each bot's budget across the basic
+	// flood behaviours via per-tick replicator dynamics driven by the
+	// bot's own handshake feedback.
+	AttackAdaptiveFlood Attack = "adaptive-flood"
 )
 
 // KnownAttacks lists every Attack value this module ships a plugin for, in
@@ -64,7 +73,7 @@ const (
 func KnownAttacks() []Attack {
 	return []Attack{
 		AttackSYNFlood, AttackConnFlood, AttackSolutionFlood,
-		AttackReplayFlood, AttackPulseFlood,
+		AttackReplayFlood, AttackPulseFlood, AttackAdaptiveFlood,
 	}
 }
 
