@@ -57,6 +57,8 @@ func run(args []string) error {
 	alpha := fs.Float64("alpha", 1.1, "server service parameter α (from a stress test)")
 	cores := fs.Int("cores", 1, "measure this many cores in parallel (a solver uses one)")
 	sources := fs.Int("sources", 0, "run a macro-aggregated SYN flood of this many sources instead of hash profiling")
+	shards := fs.Int("shards", 0, "event-engine shards for the -sources flood (0 or 1 = single shard, -1 = one per core)")
+	speculative := fs.Bool("speculative", false, "run the -sources flood's shards optimistically (speculate/rollback); results are identical either way")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	traceFile := fs.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
@@ -104,7 +106,7 @@ func run(args []string) error {
 		}()
 	}
 	if *sources > 0 {
-		return runMacroFlood(*sources)
+		return runMacroFlood(*sources, *shards, *speculative)
 	}
 	if max := runtime.GOMAXPROCS(0); *cores > max {
 		// More busy-loop goroutines than cores would time-share and
@@ -157,7 +159,7 @@ func run(args []string) error {
 // spoofed SYN-flooders against the puzzle-defended server over 20
 // simulated seconds — the same shape as the CI bounded-memory wall and
 // BenchmarkMacroFlood, so profiles line up with both.
-func runMacroFlood(sources int) error {
+func runMacroFlood(sources, shards int, speculative bool) error {
 	sc := experiments.Scenario{
 		Label:    fmt.Sprintf("profile-%d", sources),
 		Duration: 20 * time.Second, AttackStart: 2 * time.Second, AttackStop: 18 * time.Second,
@@ -165,7 +167,8 @@ func runMacroFlood(sources int) error {
 		Defense: experiments.DefensePuzzles, Attack: experiments.AttackSYNFlood,
 		BotCount: sweep.NoBotnet, MacroSources: sources, PerBotRate: 0.05,
 		Backlog: 512, AcceptBacklog: 128, Workers: 24,
-		Seed: 11,
+		Seed:   11,
+		Shards: shards, Speculative: speculative,
 	}
 	start := time.Now()
 	run, err := experiments.RunFlood(sc)

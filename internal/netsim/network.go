@@ -162,8 +162,12 @@ type Network struct {
 	tapMu sync.Mutex
 
 	// unroutable counts packets addressed to unknown nodes (e.g. SYN-ACKs
-	// to spoofed sources). Atomic: sends on any shard may increment it.
-	unroutable atomic.Uint64
+	// to spoofed sources). Sends from a known origin increment their own
+	// slot of unroutableShard — per-shard state that speculative rollbacks
+	// can rewind; only sends from unattached origins (where the calling
+	// shard is unknown) fall back to the atomic.
+	unroutable      atomic.Uint64
+	unroutableShard []uint64
 
 	// minUp[i] / minDown[i] are the smallest uplink / downlink propagation
 	// latencies among shard i's attached ports, maintained incrementally
@@ -190,6 +194,19 @@ type Network struct {
 	lookMax     time.Duration
 	lookSum     time.Duration
 	lookN       uint64
+
+	// Speculative execution state (see spec.go): the opt-in flag, tuning
+	// overrides (zero = derived defaults), the per-shard restoration
+	// inventory built lazily on the first speculative run, auxiliary
+	// snapshotters, and the deterministic speculation counters.
+	speculative  bool
+	specQuantum  time.Duration
+	specMaxIters int
+	spec         []specShardState
+	aux          []auxState
+	rollbacks    uint64
+	specWindows  uint64
+	wastedEvents uint64
 }
 
 // ShardStats summarises how a sharded run's load spread across shards:
@@ -210,11 +227,23 @@ type ShardStats struct {
 	LookaheadMin  time.Duration
 	LookaheadMean time.Duration
 	LookaheadMax  time.Duration
+
+	// Speculation counters (zero on conservative runs, all deterministic):
+	// Rollbacks counts shard restorations, SpeculativeWindows counts
+	// quanta that ran with at least one shard past its lookahead bound,
+	// and WastedEvents counts events fired and then discarded by a
+	// rollback.
+	Rollbacks          uint64
+	SpeculativeWindows uint64
+	WastedEvents       uint64
 }
 
 // ShardStats reports the current load-balance counters.
 func (n *Network) ShardStats() ShardStats {
-	st := ShardStats{Windows: n.windows, Events: make([]uint64, len(n.shards))}
+	st := ShardStats{
+		Windows: n.windows, Events: make([]uint64, len(n.shards)),
+		Rollbacks: n.rollbacks, SpeculativeWindows: n.specWindows, WastedEvents: n.wastedEvents,
+	}
 	for i, s := range n.shards {
 		st.Events[i] = s.eng.Fired()
 	}
@@ -242,12 +271,14 @@ func NewNetwork(eng *Engine) *Network {
 	return n
 }
 
-// initLookahead sizes the per-shard latency minima tables.
+// initLookahead sizes the per-shard latency minima tables (and the
+// per-shard unroutable counters, which share the shard indexing).
 func (n *Network) initLookahead() {
 	ns := len(n.shards)
 	n.minUp = make([]time.Duration, ns)
 	n.minDown = make([]time.Duration, ns)
 	n.hasPort = make([]bool, ns)
+	n.unroutableShard = make([]uint64, ns)
 }
 
 // NewSharded returns an empty network whose nodes are partitioned across
@@ -433,8 +464,10 @@ func (n *Network) SendFrom(origin Addr, seg tcpkit.Segment) {
 	// reaches the destination's downlink.
 	dst, dslot := n.lookup(seg.Dst)
 	if dst == nil {
-		n.unroutable.Add(1)
-		// Still consume uplink bandwidth; nothing arrives anywhere.
+		// Per-shard so a speculative rollback of the sending shard can
+		// rewind the count. Still consume uplink bandwidth; nothing
+		// arrives anywhere.
+		n.unroutableShard[src.shard]++
 		return
 	}
 	m := message{
@@ -508,7 +541,13 @@ func (n *Network) lookup(addr Addr) (*port, int32) {
 
 // Unroutable returns how many packets were addressed to unknown nodes
 // (e.g. SYN-ACKs to spoofed sources) or sent from unattached origins.
-func (n *Network) Unroutable() uint64 { return n.unroutable.Load() }
+func (n *Network) Unroutable() uint64 {
+	u := n.unroutable.Load()
+	for _, c := range n.unroutableShard {
+		u += c
+	}
+	return u
+}
 
 // Stats returns (uplink, downlink) statistics for a node address.
 func (n *Network) Stats(addr Addr) (up, down LinkStats, ok bool) {

@@ -193,7 +193,7 @@ func (s *SourceStore) SendAt(slot int32, at time.Duration, seg tcpkit.Segment) {
 	}
 	dst, dslot := n.lookup(seg.Dst)
 	if dst == nil {
-		n.unroutable.Add(1)
+		n.unroutableShard[s.shard]++
 		return
 	}
 	m := message{

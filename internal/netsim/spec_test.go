@@ -1,0 +1,148 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/tcpkit"
+)
+
+// speculate returns an echoMeshRun tuner enabling speculative execution
+// with an optional quantum and fixed-point iteration override (0 keeps
+// the derived defaults).
+func speculate(quantum time.Duration, maxIters int) func(*Network) {
+	return func(n *Network) {
+		n.SetSpeculative(true)
+		n.specQuantum = quantum
+		n.specMaxIters = maxIters
+	}
+}
+
+// TestSpeculativeEchoMeshByteIdentical is the headline differential: the
+// speculative run of the echo mesh is byte-identical to the serial oracle
+// at every shard count, and actually speculated (windows ran past the
+// lookahead bound) rather than degenerating to the conservative path.
+func TestSpeculativeEchoMeshByteIdentical(t *testing.T) {
+	link := LinkConfig{RateBps: 2e6, Latency: 2 * time.Millisecond, MaxBacklog: 20 * time.Millisecond}
+	want := echoFingerprint(t, 1, 6, link, 3*time.Second)
+	for _, shards := range []int{2, 3, 4, 8} {
+		got, st := echoMeshRun(t, shards, 6, link, 3*time.Second, 100, speculate(0, 0))
+		if got != want {
+			t.Errorf("speculative shards=%d diverged from serial oracle:\n got:\n%s\nwant:\n%s", shards, got, want)
+		}
+		if st.SpeculativeWindows == 0 {
+			t.Errorf("shards=%d: SpeculativeWindows = 0, speculation never engaged", shards)
+		}
+	}
+}
+
+// TestSpeculativeStragglerRollbackEquivalence pins the rollback machinery
+// itself: with near-zero cross-shard latency every quantum is invaded by
+// straggler packets, so the run must roll shards back — and still land on
+// the oracle's exact bytes.
+func TestSpeculativeStragglerRollbackEquivalence(t *testing.T) {
+	link := LinkConfig{RateBps: 5e6, Latency: 50 * time.Microsecond, MaxBacklog: 10 * time.Millisecond}
+	want := echoFingerprint(t, 1, 6, link, 2*time.Second)
+	got, st := echoMeshRun(t, 4, 6, link, 2*time.Second, 100, speculate(0, 0))
+	if got != want {
+		t.Fatalf("straggler-heavy speculative run diverged from oracle:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if st.Rollbacks == 0 {
+		t.Error("Rollbacks = 0; fixture failed to provoke mis-speculation")
+	}
+	if st.WastedEvents == 0 {
+		t.Error("WastedEvents = 0 despite rollbacks")
+	}
+	if st.SpeculativeWindows == 0 {
+		t.Error("SpeculativeWindows = 0")
+	}
+}
+
+// TestSpeculativeZeroLatencyMatchesOracle covers the topology where the
+// conservative path has no lookahead at all and degenerates to a serial
+// merge: speculation must still run (floored quantum) and agree.
+func TestSpeculativeZeroLatencyMatchesOracle(t *testing.T) {
+	link := LinkConfig{RateBps: 5e6, Latency: 0, MaxBacklog: 10 * time.Millisecond}
+	want := echoFingerprint(t, 1, 4, link, 2*time.Second)
+	got, st := echoMeshRun(t, 4, 4, link, 2*time.Second, 100, speculate(0, 0))
+	if got != want {
+		t.Fatalf("zero-latency speculative run diverged from oracle:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if st.SpeculativeWindows == 0 {
+		t.Error("SpeculativeWindows = 0 on a zero-lookahead topology")
+	}
+}
+
+// TestSpeculativeBailoutMatchesOracle forces the fixed-point iteration cap
+// down to one with a deliberately oversized quantum, so rounds that do not
+// converge immediately take the bailout path (restore everything, advance
+// the quantum under the serial merge) — which must be invisible in the
+// results.
+func TestSpeculativeBailoutMatchesOracle(t *testing.T) {
+	link := LinkConfig{RateBps: 5e6, Latency: 50 * time.Microsecond, MaxBacklog: 10 * time.Millisecond}
+	want := echoFingerprint(t, 1, 6, link, 2*time.Second)
+	got, st := echoMeshRun(t, 4, 6, link, 2*time.Second, 100, speculate(50*time.Millisecond, 1))
+	if got != want {
+		t.Fatalf("bailout-heavy speculative run diverged from oracle:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if st.SpeculativeWindows == 0 {
+		t.Error("SpeculativeWindows = 0")
+	}
+}
+
+// TestSpeculativeTapsFallBackConservative: a registered tap would observe
+// packets from executions that later roll back, so Run must silently take
+// the conservative path — identical results, zero speculation counters.
+func TestSpeculativeTapsFallBackConservative(t *testing.T) {
+	link := LinkConfig{RateBps: 2e6, Latency: 2 * time.Millisecond, MaxBacklog: 20 * time.Millisecond}
+	want := echoFingerprint(t, 1, 6, link, 2*time.Second)
+	got, st := echoMeshRun(t, 4, 6, link, 2*time.Second, 100, func(n *Network) {
+		n.SetSpeculative(true)
+		n.RegisterTap(func(time.Duration, TapDir, tcpkit.Segment) {})
+	})
+	if got != want {
+		t.Fatalf("tapped speculative run diverged from oracle:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if st.SpeculativeWindows != 0 || st.Rollbacks != 0 {
+		t.Errorf("taps registered but speculation engaged: windows=%d rollbacks=%d",
+			st.SpeculativeWindows, st.Rollbacks)
+	}
+}
+
+// TestSpeculativeStatsZeroOnConservative pins the ShardStats contract:
+// the speculation counters are exactly zero on conservative runs.
+func TestSpeculativeStatsZeroOnConservative(t *testing.T) {
+	link := LinkConfig{RateBps: 2e6, Latency: 2 * time.Millisecond, MaxBacklog: 20 * time.Millisecond}
+	_, st := echoMeshRun(t, 4, 6, link, time.Second, 100, nil)
+	if st.Rollbacks != 0 || st.SpeculativeWindows != 0 || st.WastedEvents != 0 {
+		t.Errorf("conservative run reported speculation: rollbacks=%d windows=%d wasted=%d",
+			st.Rollbacks, st.SpeculativeWindows, st.WastedEvents)
+	}
+}
+
+// FuzzSpeculativeEquivalence drives the differential harness over random
+// topologies and tunings: any divergence between a speculative run and its
+// serial oracle — or a crash in the snapshot/rollback machinery — is a
+// finding. The checked-in corpus seeds the interesting regimes: healthy
+// lookahead, straggler-heavy microsecond latency, zero lookahead, and a
+// forced tiny quantum.
+func FuzzSpeculativeEquivalence(f *testing.F) {
+	f.Add(uint8(2), uint8(4), uint32(2000), uint32(0), int64(100))
+	f.Add(uint8(4), uint8(6), uint32(50), uint32(0), int64(7))
+	f.Add(uint8(3), uint8(5), uint32(0), uint32(500), int64(42))
+	f.Add(uint8(8), uint8(8), uint32(800), uint32(3000), int64(1))
+	f.Fuzz(func(t *testing.T, shards, nodes uint8, latencyUs, quantumUs uint32, seed int64) {
+		ns := 2 + int(shards)%7                                   // 2..8 shards
+		nn := 2 + int(nodes)%7                                    // 2..8 nodes
+		lat := time.Duration(latencyUs%20_000) * time.Microsecond // 0..20ms
+		q := time.Duration(quantumUs%50_000) * time.Microsecond   // 0 = derived
+		link := LinkConfig{RateBps: 5e6, Latency: lat, MaxBacklog: 10 * time.Millisecond}
+		dur := 500 * time.Millisecond
+		want, _ := echoMeshRun(t, 1, nn, link, dur, seed, nil)
+		got, _ := echoMeshRun(t, ns, nn, link, dur, seed, speculate(q, 0))
+		if got != want {
+			t.Fatalf("shards=%d nodes=%d latency=%v quantum=%v seed=%d: speculative run diverged:\n got:\n%s\nwant:\n%s",
+				ns, nn, lat, q, seed, got, want)
+		}
+	})
+}

@@ -1,0 +1,276 @@
+package netsim
+
+import (
+	"reflect"
+	"sync"
+	"time"
+	"unsafe"
+)
+
+// StateSnap is a restorable deep snapshot of the mutable state reachable
+// from a set of root pointers — the default application-state capture
+// behind speculative shard execution for nodes that do not implement
+// Snapshotter themselves. CaptureState records every heap object reachable
+// through pointers, slices, maps, and interfaces; Restore writes the
+// recorded bytes back into the *same* objects, so every live pointer into
+// the graph (including closures scheduled before the snapshot) observes
+// the rolled-back state.
+//
+// The walk deliberately does not follow: engine/network plumbing
+// (*Engine, *Network, *SourceStore — the shard runner snapshots those
+// itself), Timer values (the pooled event they reference is restored by
+// the engine snapshot), *time.Location, strings (immutable), channels,
+// and functions (a closure's captured variables must be reachable from
+// the roots some other way — true for every node in this repo, and
+// exactly the property the conservative-oracle differential tests pin).
+type StateSnap struct {
+	regions []region
+	maps    []mapSnap
+}
+
+// region is one restorable memory block: an addressable view of a live
+// object (or slice backing prefix) plus a typed clone of its contents.
+type region struct {
+	dst   reflect.Value
+	saved reflect.Value
+}
+
+// mapSnap is one restorable map: content is restored key-by-key because a
+// map's storage cannot be rewritten as a region.
+type mapSnap struct {
+	m    reflect.Value
+	keys []reflect.Value
+	vals []reflect.Value
+}
+
+// CaptureState deep-snapshots everything reachable from the given roots
+// (typically pointers to node structs). Capture and Restore must run with
+// the referenced shard quiescent — the speculative coordinator calls both
+// between parallel phases.
+func CaptureState(roots ...any) *StateSnap {
+	c := &capturer{snap: &StateSnap{}, visited: make(map[visitKey]bool)}
+	for _, r := range roots {
+		if r == nil {
+			continue
+		}
+		v := reflect.ValueOf(r)
+		if v.Kind() == reflect.Pointer {
+			c.capturePtr(v)
+		} else {
+			c.walkRefs(v)
+		}
+	}
+	return c.snap
+}
+
+// Restore writes the snapshot back into the live objects. Regions first,
+// then map contents: if a map-typed field was reassigned after the
+// snapshot, the region restore resets the header to the snapshotted map
+// before its entries are rebuilt.
+func (s *StateSnap) Restore() {
+	for i := range s.regions {
+		s.regions[i].dst.Set(s.regions[i].saved)
+	}
+	for i := range s.maps {
+		ms := &s.maps[i]
+		ms.m.Clear()
+		for j := range ms.keys {
+			ms.m.SetMapIndex(ms.keys[j], ms.vals[j])
+		}
+	}
+}
+
+// Regions returns how many memory blocks the snapshot holds — test
+// observability for the walker's coverage.
+func (s *StateSnap) Regions() int { return len(s.regions) }
+
+// Maps returns how many maps the snapshot holds.
+func (s *StateSnap) Maps() int { return len(s.maps) }
+
+type visitKey struct {
+	p unsafe.Pointer
+	t reflect.Type
+}
+
+type capturer struct {
+	snap    *StateSnap
+	visited map[visitKey]bool
+}
+
+// Simulator-plumbing types the walk never follows (the shard runner
+// snapshots engine and store state itself; a network or location is
+// effectively immutable during a window).
+var (
+	engineType   = reflect.TypeOf((*Engine)(nil))
+	networkType  = reflect.TypeOf((*Network)(nil))
+	storeType    = reflect.TypeOf((*SourceStore)(nil))
+	locationType = reflect.TypeOf((*time.Location)(nil))
+	timerType    = reflect.TypeOf(Timer{})
+)
+
+func skipPtrType(t reflect.Type) bool {
+	switch t {
+	case engineType, networkType, storeType, locationType:
+		return true
+	}
+	return false
+}
+
+// capturePtr records the pointee as a region (once per (address, type))
+// and walks its references.
+func (c *capturer) capturePtr(v reflect.Value) {
+	if v.IsNil() || skipPtrType(v.Type()) {
+		return
+	}
+	elem := v.Type().Elem()
+	if elem.Kind() == reflect.Func || elem.Kind() == reflect.Chan {
+		return
+	}
+	key := visitKey{v.UnsafePointer(), elem}
+	if c.visited[key] {
+		return
+	}
+	c.visited[key] = true
+	// A NewAt view is addressable and fully settable even where the
+	// original reflect.Value came from an unexported field.
+	live := reflect.NewAt(elem, v.UnsafePointer()).Elem()
+	c.captureRegion(live)
+}
+
+// captureRegion clones an addressable live value and walks the clone's
+// references (identical to the live value's at capture time).
+func (c *capturer) captureRegion(live reflect.Value) {
+	saved := reflect.New(live.Type()).Elem()
+	saved.Set(live)
+	c.snap.regions = append(c.snap.regions, region{dst: live, saved: saved})
+	c.walkRefs(saved)
+}
+
+// captureSliceBacking records the [0:len] prefix of a slice's backing
+// array as a region. The post-restore header hides anything written past
+// the snapshotted length, so the tail needs no restoration.
+func (c *capturer) captureSliceBacking(v reflect.Value) {
+	n := v.Len()
+	if v.IsNil() || n == 0 {
+		return
+	}
+	at := reflect.ArrayOf(n, v.Type().Elem())
+	key := visitKey{v.UnsafePointer(), at}
+	if c.visited[key] {
+		return
+	}
+	c.visited[key] = true
+	c.captureRegion(reflect.NewAt(at, v.UnsafePointer()).Elem())
+}
+
+// captureMap records a map's entries. The write-capable handle is rebuilt
+// from the map's header pointer so maps found through unexported fields
+// (read-only reflect.Values) restore like any other.
+func (c *capturer) captureMap(v reflect.Value) {
+	if v.IsNil() {
+		return
+	}
+	key := visitKey{v.UnsafePointer(), v.Type()}
+	if c.visited[key] {
+		return
+	}
+	c.visited[key] = true
+	clean := reflect.New(v.Type())
+	*(*unsafe.Pointer)(clean.UnsafePointer()) = v.UnsafePointer()
+	m := clean.Elem()
+	ms := mapSnap{m: m}
+	iter := m.MapRange()
+	for iter.Next() {
+		k := cloneValue(iter.Key())
+		val := cloneValue(iter.Value())
+		ms.keys = append(ms.keys, k)
+		ms.vals = append(ms.vals, val)
+		c.walkRefs(k)
+		c.walkRefs(val)
+	}
+	c.snap.maps = append(c.snap.maps, ms)
+}
+
+func cloneValue(v reflect.Value) reflect.Value {
+	nv := reflect.New(v.Type()).Elem()
+	nv.Set(v)
+	return nv
+}
+
+// walkRefs chases the references inside a value that is already captured
+// (or immutable, for interface-boxed values), recording each reachable
+// heap object exactly once.
+func (c *capturer) walkRefs(v reflect.Value) {
+	if !typeHasRefs(v.Type()) {
+		return
+	}
+	switch v.Kind() {
+	case reflect.Pointer:
+		c.capturePtr(v)
+	case reflect.Interface:
+		if v.IsNil() {
+			return
+		}
+		d := v.Elem()
+		switch d.Kind() {
+		case reflect.Pointer:
+			c.capturePtr(d)
+		case reflect.Map:
+			c.captureMap(d)
+		case reflect.Slice:
+			c.captureSliceBacking(d)
+		case reflect.Struct, reflect.Array:
+			// The boxed value itself is immutable; only what it points
+			// to can change.
+			c.walkRefs(d)
+		}
+	case reflect.Map:
+		c.captureMap(v)
+	case reflect.Slice:
+		c.captureSliceBacking(v)
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			c.walkRefs(v.Index(i))
+		}
+	case reflect.Struct:
+		if v.Type() == timerType {
+			return
+		}
+		for i := 0; i < v.NumField(); i++ {
+			c.walkRefs(v.Field(i))
+		}
+	}
+}
+
+// typeHasRefs reports whether values of t can reach other heap objects
+// the walker cares about — the pruning that keeps the walk off flat
+// numeric state (busy-until slices, counters).
+var hasRefsCache sync.Map // reflect.Type → bool
+
+func typeHasRefs(t reflect.Type) bool {
+	if r, ok := hasRefsCache.Load(t); ok {
+		return r.(bool)
+	}
+	r := computeHasRefs(t)
+	hasRefsCache.Store(t, r)
+	return r
+}
+
+func computeHasRefs(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Pointer, reflect.Map, reflect.Slice, reflect.Interface:
+		return true
+	case reflect.Array:
+		return computeHasRefs(t.Elem())
+	case reflect.Struct:
+		if t == timerType {
+			return false
+		}
+		for i := 0; i < t.NumField(); i++ {
+			if computeHasRefs(t.Field(i).Type) {
+				return true
+			}
+		}
+	}
+	return false
+}

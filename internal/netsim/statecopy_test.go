@@ -1,0 +1,161 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// scInner exercises pointer chains and cycles through unexported fields —
+// exactly what CaptureState sees when it walks real node state, where
+// every interesting field is unexported and reflect marks it read-only.
+type scInner struct {
+	n    int
+	next *scInner
+}
+
+type scState struct {
+	count  int
+	name   string
+	buf    []int
+	tags   map[string]int
+	inner  *scInner
+	iface  any
+	shared *scInner
+	alias  *scInner // same pointer as shared: identity must survive restore
+	timer  Timer    // engine-owned; the copier must not walk through it
+}
+
+func newSCState() *scState {
+	shared := &scInner{n: 7}
+	return &scState{
+		count:  1,
+		name:   "orig",
+		buf:    []int{1, 2, 3},
+		tags:   map[string]int{"a": 1, "b": 2},
+		inner:  &scInner{n: 5},
+		iface:  &scInner{n: 9},
+		shared: shared,
+		alias:  shared,
+	}
+}
+
+// TestCaptureStateRestoresMutations mutates every kind of reachable state
+// — scalars, slice elements and headers, map contents and the map header,
+// pointed-to structs, interface-held state — then restores and checks the
+// original values are back bit-for-bit.
+func TestCaptureStateRestoresMutations(t *testing.T) {
+	st := newSCState()
+	origBuf := st.buf
+	origTags := st.tags
+	snap := CaptureState(st)
+
+	st.count = 99
+	st.name = "mutated"
+	st.buf[0] = -1
+	st.buf = append(st.buf, 4) // may or may not reallocate; header changes either way
+	st.tags["a"] = 99
+	st.tags["new"] = 3
+	delete(st.tags, "b")
+	st.tags = map[string]int{"other": 1} // header reassignment
+	st.inner.n = 50
+	st.inner = &scInner{n: 51} // pointer reassignment
+	st.iface.(*scInner).n = 90
+	st.iface = "replaced" // interface word reassignment
+	st.shared.n = 70
+	st.alias = nil
+
+	snap.Restore()
+	if st.count != 1 || st.name != "orig" {
+		t.Fatalf("scalars not restored: count=%d name=%q", st.count, st.name)
+	}
+	if len(st.buf) != 3 || &st.buf[0] != &origBuf[0] || st.buf[0] != 1 || st.buf[2] != 3 {
+		t.Fatalf("slice not restored: %v (backing moved: %v)", st.buf, &st.buf[0] != &origBuf[0])
+	}
+	if len(st.tags) != 2 || st.tags["a"] != 1 || st.tags["b"] != 2 {
+		t.Fatalf("map contents not restored: %v", st.tags)
+	}
+	// The header must point at the original map object again, and that
+	// object's contents must be the snapshot's (Clear + reinsert).
+	origTags["probe"] = 1
+	if st.tags["probe"] != 1 {
+		t.Fatal("map header restored to a different map object")
+	}
+	delete(origTags, "probe")
+	if st.inner.n != 5 {
+		t.Fatalf("pointed-to struct not restored: %d", st.inner.n)
+	}
+	inner, ok := st.iface.(*scInner)
+	if !ok || inner.n != 9 {
+		t.Fatalf("interface-held state not restored: %#v", st.iface)
+	}
+	if st.shared.n != 7 || st.alias != st.shared {
+		t.Fatalf("shared pointer: n=%d identity=%v", st.shared.n, st.alias == st.shared)
+	}
+}
+
+// TestCaptureStateRestoreTwice: a speculative round may roll the same
+// shard back several times before the fixed point; the same snapshot must
+// restore repeatedly.
+func TestCaptureStateRestoreTwice(t *testing.T) {
+	st := newSCState()
+	snap := CaptureState(st)
+	for round := 0; round < 3; round++ {
+		st.count = 100 + round
+		st.tags["x"] = round
+		st.inner.n = round
+		snap.Restore()
+		if st.count != 1 || st.inner.n != 5 || len(st.tags) != 2 {
+			t.Fatalf("round %d: count=%d inner=%d tags=%v", round, st.count, st.inner.n, st.tags)
+		}
+	}
+}
+
+// TestCaptureStateCycles: mutually referencing nodes must capture once
+// each (visited set) and restore cleanly.
+func TestCaptureStateCycles(t *testing.T) {
+	a := &scInner{n: 1}
+	b := &scInner{n: 2}
+	a.next, b.next = b, a
+	snap := CaptureState(a)
+	a.n, b.n = 10, 20
+	a.next = nil
+	snap.Restore()
+	if a.n != 1 || b.n != 2 || a.next != b || b.next != a {
+		t.Fatalf("cycle not restored: a=%+v b=%+v", a, b)
+	}
+}
+
+// TestCaptureStateSkipsTimers: Timer handles reference engine-pooled
+// events; the engine snapshot owns those, so the generic copier must stop
+// at the Timer value itself (restoring the handle) without capturing the
+// event it points to.
+func TestCaptureStateSkipsTimers(t *testing.T) {
+	e := NewEngine()
+	st := newSCState()
+	st.timer = e.ScheduleAt(time.Millisecond, func() {})
+	ev := st.timer.ev
+	snap := CaptureState(st)
+	stale := Timer{}
+	st.timer = stale
+	ev.at = 42 // would be clobbered if the copier had captured the event
+	snap.Restore()
+	if st.timer.ev != ev {
+		t.Fatal("timer handle not restored")
+	}
+	if ev.at != 42 {
+		t.Fatalf("copier walked through a Timer into the engine-owned event: at=%v", ev.at)
+	}
+}
+
+// TestCaptureStateObservability sanity-checks the snapshot inventory the
+// Regions/Maps accessors expose.
+func TestCaptureStateObservability(t *testing.T) {
+	st := newSCState()
+	snap := CaptureState(st)
+	if snap.Regions() == 0 {
+		t.Error("Regions() = 0")
+	}
+	if snap.Maps() != 1 {
+		t.Errorf("Maps() = %d, want 1", snap.Maps())
+	}
+}

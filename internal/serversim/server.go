@@ -138,6 +138,15 @@ func (s *Server) scheduleAdapt() {
 // Addr implements netsim.Node.
 func (s *Server) Addr() netsim.Addr { return s.cfg.Addr }
 
+// SnapshotState implements netsim.Snapshotter: a deep capture of the
+// whole server — listener queues, connections, defense plugin state,
+// worker pool, CPU model, metrics — so speculative shard execution can
+// roll the server back to a committed window.
+func (s *Server) SnapshotState() any { return netsim.CaptureState(s) }
+
+// RestoreState implements netsim.Snapshotter.
+func (s *Server) RestoreState(state any) { state.(*netsim.StateSnap).Restore() }
+
 // Config returns the server configuration (after defaulting).
 func (s *Server) Config() Config { return s.cfg }
 

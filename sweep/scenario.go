@@ -163,6 +163,13 @@ type Scenario struct {
 	// byte-identical at every shard count, which is why the field is
 	// excluded from JSON serialisation and from the result-cache hash.
 	Shards int `json:"-"`
+	// Speculative switches sharded execution from the conservative
+	// lock-step window protocol to optimistic (speculate/rollback)
+	// execution (see internal/netsim's spec.go). Like Shards it is purely
+	// an execution knob — results are byte-identical either way, enforced
+	// by the conservative-oracle differential tests — so it is likewise
+	// excluded from serialisation and the cache hash.
+	Speculative bool `json:"-"`
 }
 
 // Defaults returns a copy with the paper's §6 defaults applied to every
@@ -247,6 +254,9 @@ type Scale struct {
 	// (AutoShards = one per core). Execution-only: results are identical
 	// at every value.
 	Shards int
+	// Speculative opts sharded runs into optimistic execution.
+	// Execution-only, like Shards.
+	Speculative bool
 
 	// Parallelism is the runner worker count used when a driver fans a
 	// grid of scenarios out (0 = GOMAXPROCS). It never affects results,
@@ -289,6 +299,9 @@ func (s Scale) Apply(sc Scenario) Scenario {
 	}
 	if s.Shards != 0 {
 		sc.Shards = s.Shards
+	}
+	if s.Speculative {
+		sc.Speculative = true
 	}
 	return sc
 }
