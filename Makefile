@@ -6,7 +6,7 @@ GO ?= go
 # samples to test significance on (benchstat wants >= 10 for tight CIs).
 COUNT ?= 10
 
-.PHONY: build test race bench bench-smoke bench-engine bench-scale fuzz-smoke
+.PHONY: build test race lint bench bench-smoke bench-engine bench-scale fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,14 @@ test:
 
 race:
 	$(GO) test -race -short ./...
+
+# The determinism-contract analyzers (internal/lint: nodeterm, maporder,
+# hashfield, snapfields, allowcheck) driven through the standard vet
+# harness. Exits nonzero on any diagnostic; see docs/DETERMINISM.md for
+# the rules and the //tcpz:allow suppression syntax.
+lint:
+	$(GO) build -o bin/tcpz-vet ./cmd/tcpz-vet
+	$(GO) vet -vettool=$(CURDIR)/bin/tcpz-vet ./...
 
 # Full microbench sweep, benchstat-ready:
 #   make bench > new.txt            # on your branch
@@ -44,3 +52,4 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzChallengeRoundTrip -fuzztime=10s ./tcpopt
 	$(GO) test -fuzz=FuzzCookieRoundTrip -fuzztime=10s ./syncookie
 	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=10s ./puzzlenet
+	$(GO) test -fuzz=FuzzSpeculativeEquivalence -fuzztime=10s ./internal/netsim

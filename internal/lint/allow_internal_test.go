@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text      string
+		directive bool
+		analyzer  string
+		reason    string
+		malformed string
+	}{
+		{text: "// plain comment"},
+		{text: "// prose that merely mentions tcpz:allow is inert"},
+		{
+			text:      "//tcpz:allow nodeterm — wall clock feeds stats only",
+			directive: true, analyzer: "nodeterm",
+			reason: "wall clock feeds stats only",
+		},
+		{
+			text:      "//tcpz:allow maporder -- ascii double dash works too",
+			directive: true, analyzer: "maporder",
+			reason: "ascii double dash works too",
+		},
+		{
+			text:      "//tcpz:allow",
+			directive: true,
+			malformed: "annotation names no analyzer; want //tcpz:allow <analyzer> — <reason>",
+		},
+		{
+			text:      "//tcpz:allow nodeterm",
+			directive: true, analyzer: "nodeterm",
+			malformed: "annotation has no reason; every exemption must say why it is sound",
+		},
+		{
+			text:      "//tcpz:allow nodeterm —",
+			directive: true, analyzer: "nodeterm",
+			malformed: "annotation has no reason; every exemption must say why it is sound",
+		},
+		{
+			text:      "//tcpz:allow nodeterm forgot the dash",
+			directive: true, analyzer: "nodeterm",
+			malformed: "reason must be introduced by — (or --): //tcpz:allow <analyzer> — <reason>",
+		},
+	}
+	for _, tc := range cases {
+		d, ok := parseAllow(tc.text, token.Position{Filename: "x.go", Line: 1})
+		if ok != tc.directive {
+			t.Errorf("parseAllow(%q) recognized=%v, want %v", tc.text, ok, tc.directive)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if d.analyzer != tc.analyzer || d.reason != tc.reason || d.malformed != tc.malformed {
+			t.Errorf("parseAllow(%q) = {analyzer:%q reason:%q malformed:%q}, want {analyzer:%q reason:%q malformed:%q}",
+				tc.text, d.analyzer, d.reason, d.malformed, tc.analyzer, tc.reason, tc.malformed)
+		}
+	}
+}
+
+// A reasonless //tcpz:allow must itself surface as a diagnostic — and one
+// that no annotation can suppress: "allowcheck" is deliberately absent
+// from the known-analyzer set, so even a well-formed attempt to allow it
+// is reported as unknown.
+func TestReasonlessAllowIsReported(t *testing.T) {
+	const src = `package netsim
+
+func f() int {
+	//tcpz:allow nodeterm
+	//tcpz:allow allowcheck — an annotation cannot excuse itself
+	return 0
+}
+`
+	pkg := checkSource(t, "reasonless.go", src)
+	diags, err := Check(pkg, []*Analyzer{Allowcheck})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if d := diags[0]; d.Pos.Line != 4 || !strings.Contains(d.Message, "no reason") {
+		t.Errorf("unexpected first diagnostic: %v", d)
+	}
+	if d := diags[1]; d.Pos.Line != 5 || !strings.Contains(d.Message, `unknown analyzer "allowcheck"`) {
+		t.Errorf("unexpected second diagnostic: %v", d)
+	}
+}
+
+// checkSource type-checks a single import-free source string.
+func checkSource(t *testing.T, filename, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	importPath := modulePath + "/internal/netsim"
+	tpkg, err := (&types.Config{}).Check(importPath, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Types:      tpkg,
+		Info:       info,
+	}
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Hashfield proves that no sweep.Scenario field can drift into — or out
+// of — the result-cache hash unreviewed. sweep.Hash serialises the
+// canonical Scenario as JSON, so a field participates in the cache key
+// exactly when its json tag is not "-". The analyzer requires the two
+// sources of truth to agree: every `json:"-"` field must be pinned (with a
+// reason) in the package's scenarioHashExclusions map, every pinned entry
+// must name a real, actually-excluded field, and every other field simply
+// participates. Adding a knob therefore either feeds the hash (new cache
+// identities, old entries miss — safe) or forces an explicit, reviewed
+// exclusion entry; it can never silently poison warm sweep caches.
+var Hashfield = &Analyzer{
+	Name: "hashfield",
+	Doc: "require every sweep.Scenario field to feed the canonical cache " +
+		"hash or be pinned in scenarioHashExclusions with a reason",
+	Run: runHashfield,
+}
+
+const (
+	scenarioTypeName  = "Scenario"
+	exclusionsVarName = "scenarioHashExclusions"
+)
+
+func runHashfield(pass *Pass) error {
+	if pass.Pkg.Name() != "sweep" {
+		return nil
+	}
+	scenario := findStructType(pass, scenarioTypeName)
+	if scenario == nil {
+		return nil // a sweep package without a Scenario is out of scope
+	}
+	exclusions, entryPos := findExclusions(pass)
+	if exclusions == nil {
+		pass.Reportf(scenario.Pos(), "package declares %s but no %s map pinning the cache-hash exclusions (see docs/DETERMINISM.md)", scenarioTypeName, exclusionsVarName)
+		return nil
+	}
+
+	fields := map[string]bool{}
+	for _, field := range scenario.Fields.List {
+		tag := ""
+		if field.Tag != nil {
+			unquoted, err := strconv.Unquote(field.Tag.Value)
+			if err == nil {
+				tag = reflect.StructTag(unquoted).Get("json")
+			}
+		}
+		jsonName, _, _ := strings.Cut(tag, ",")
+		excluded := jsonName == "-"
+		for _, name := range fieldNames(field) {
+			fields[name] = true
+			_, pinned := exclusions[name]
+			switch {
+			case excluded && !pinned:
+				pass.Reportf(field.Pos(), "field %s is excluded from the cache hash (json:\"-\") but not pinned in %s; add an entry explaining why results are identical without it", name, exclusionsVarName)
+			case !excluded && pinned:
+				pass.Reportf(field.Pos(), "field %s participates in the cache hash but is pinned in %s; remove the stale entry or tag the field json:\"-\"", name, exclusionsVarName)
+			case excluded && pinned && exclusions[name] == "":
+				pass.Reportf(entryPos[name], "exclusion entry for %s has an empty reason; say why results are identical without the field", name)
+			}
+		}
+	}
+	stale := make([]string, 0, len(exclusions))
+	for name := range exclusions {
+		if !fields[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		pass.Reportf(entryPos[name], "exclusion entry %q names no %s field; remove the stale entry", name, scenarioTypeName)
+	}
+	return nil
+}
+
+// findStructType locates a package-level struct type declaration by name.
+func findStructType(pass *Pass, name string) *ast.StructType {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || ts.Name.Name != name {
+					continue
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					return st
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// findExclusions parses the scenarioHashExclusions composite literal:
+// field name → reason, plus the source position of each entry.
+func findExclusions(pass *Pass) (map[string]string, map[string]token.Pos) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != exclusionsVarName || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					excl := map[string]string{}
+					pos := map[string]token.Pos{}
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := stringConst(pass, kv.Key)
+						if !ok {
+							continue
+						}
+						val, _ := stringConst(pass, kv.Value)
+						excl[key] = val
+						pos[key] = kv.Pos()
+					}
+					return excl, pos
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// stringConst evaluates a constant string expression (literal, named
+// constant, or concatenation) via the type checker's constant folding.
+func stringConst(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func fieldNames(field *ast.Field) []string {
+	if len(field.Names) == 0 {
+		// Embedded field: named by its type.
+		switch t := field.Type.(type) {
+		case *ast.Ident:
+			return []string{t.Name}
+		case *ast.SelectorExpr:
+			return []string{t.Sel.Name}
+		}
+		return nil
+	}
+	names := make([]string, 0, len(field.Names))
+	for _, n := range field.Names {
+		names = append(names, n.Name)
+	}
+	return names
+}

@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/lint"
+	"github.com/tcppuzzles/tcppuzzles/internal/lint/linttest"
+)
+
+func TestHashfieldViolations(t *testing.T) {
+	linttest.Run(t, "testdata/src/hashfield/bad", module+"/sweep", lint.Hashfield)
+}
+
+func TestHashfieldClean(t *testing.T) {
+	linttest.Run(t, "testdata/src/hashfield/good", module+"/sweep", lint.Hashfield)
+}
+
+func TestHashfieldMissingExclusionsMap(t *testing.T) {
+	linttest.Run(t, "testdata/src/hashfield/missing", module+"/sweep", lint.Hashfield)
+}

@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Snapfields guards the speculative engine's reflective state copier. Any
+// object handed to netsim.CaptureState is deep-snapshotted and restored in
+// place on rollback — but the walker cannot restore what it deliberately
+// does not follow: channel contents, a closure's captured variables, and
+// sync primitives (restoring a copied mutex over a held one corrupts it).
+// A chan, func, or sync/sync.atomic field reachable from a captured root
+// is therefore a silent wrong-restore at runtime. The analyzer walks the
+// static type graph of every CaptureState argument and reports each such
+// field, so wiring a new type into the Snapshotter machinery forces either
+// a restructure or a reviewed //tcpz:allow explaining why the field is
+// rollback-safe (e.g. the closure's captured state is reachable from the
+// roots some other way).
+var Snapfields = &Analyzer{
+	Name: "snapfields",
+	Doc: "forbid chan, func, and sync fields reachable from types handed " +
+		"to the netsim.CaptureState reflective copier",
+	Run: runSnapfields,
+}
+
+// snapSkipTypes are the netsim plumbing types the copier's walk
+// deliberately stops at (the shard runner snapshots engine, network and
+// source-store state itself; Timer handles are restored by the engine
+// snapshot; a time.Location is immutable).
+var snapSkipTypes = map[string]bool{
+	"Engine": true, "Network": true, "SourceStore": true, "Timer": true,
+}
+
+func runSnapfields(pass *Pass) error {
+	reported := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Name() != "CaptureState" || fn.Pkg() == nil || fn.Pkg().Name() != "netsim" {
+				return true
+			}
+			for _, arg := range call.Args {
+				tv, ok := pass.Info.Types[arg]
+				if !ok {
+					continue
+				}
+				w := &snapWalker{pass: pass, call: call, reported: reported, seen: map[types.Type]bool{}}
+				w.walk(tv.Type, typeLabel(tv.Type))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+type snapWalker struct {
+	pass     *Pass
+	call     *ast.CallExpr
+	reported map[types.Object]bool
+	seen     map[types.Type]bool
+}
+
+// walk recurses through the statically reachable type graph exactly the
+// way the copier does: pointers, named types, structs, slices, arrays and
+// map key/element types. Interfaces stop the walk (the dynamic type is
+// captured at runtime through the concrete root that holds it), as do the
+// netsim plumbing types the copier skips.
+func (w *snapWalker) walk(t types.Type, path string) {
+	if w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	switch t := t.(type) {
+	case *types.Pointer:
+		w.walk(t.Elem(), path)
+	case *types.Named:
+		if skipSnapType(t) {
+			return
+		}
+		w.walk(t.Underlying(), path)
+	case *types.Slice:
+		w.walk(t.Elem(), path)
+	case *types.Array:
+		w.walk(t.Elem(), path)
+	case *types.Map:
+		w.walk(t.Key(), path)
+		w.walk(t.Elem(), path)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			field := t.Field(i)
+			fieldPath := path + "." + field.Name()
+			if bad := uncopyableKind(field.Type()); bad != "" {
+				w.report(field, fieldPath, bad)
+				continue
+			}
+			w.walk(field.Type(), fieldPath)
+		}
+	}
+}
+
+// uncopyableKind classifies a field type the copier cannot restore, or ""
+// if the type is fine to recurse into.
+func uncopyableKind(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		if obj := named.Obj(); obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync", "sync/atomic":
+				return "sync field " + obj.Pkg().Path() + "." + obj.Name()
+			}
+		}
+	}
+	switch t.Underlying().(type) {
+	case *types.Chan:
+		return "chan field"
+	case *types.Signature:
+		return "func field"
+	}
+	return ""
+}
+
+func skipSnapType(t *types.Named) bool {
+	obj := t.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if obj.Pkg().Name() == "netsim" && snapSkipTypes[obj.Name()] {
+		return true
+	}
+	if obj.Pkg().Path() == "time" && obj.Name() == "Location" {
+		return true
+	}
+	return false
+}
+
+// report anchors the diagnostic on the field declaration when it lives in
+// the package under analysis (so a //tcpz:allow can sit on the field), and
+// falls back to the CaptureState call site for fields imported from other
+// packages.
+func (w *snapWalker) report(field *types.Var, path, kind string) {
+	if w.reported[field] {
+		return
+	}
+	w.reported[field] = true
+	if field.Pkg() == w.pass.Pkg && field.Pos().IsValid() {
+		w.pass.Reportf(field.Pos(), "%s %s is captured by netsim.CaptureState but cannot be restored on rollback; restructure it or annotate why it is rollback-safe", kind, path)
+		return
+	}
+	w.pass.Reportf(w.call.Pos(), "captured state reaches %s (%s), which the reflective copier cannot restore on rollback", path, kind)
+}
+
+func typeLabel(t types.Type) string {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj() != nil {
+		return named.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/lint"
+	"github.com/tcppuzzles/tcppuzzles/internal/lint/linttest"
+)
+
+func TestSnapfields(t *testing.T) {
+	linttest.Run(t, "testdata/src/snapfields/snap", module+"/internal/netsim", lint.Snapfields)
+}

@@ -1,0 +1,24 @@
+// Fixture: allowcheck validates the suppression annotations themselves.
+// Run together with nodeterm: a malformed annotation still suppresses its
+// target (so exactly one actionable diagnostic survives), but an
+// annotation naming an unknown analyzer suppresses nothing.
+package netsim
+
+import "time"
+
+// Well-formed: suppresses nodeterm, silent under allowcheck.
+func wellFormed() {
+	_ = time.Now() //tcpz:allow nodeterm — feeds observability counters only, never simulation state
+}
+
+// The reason must be introduced by an em dash (or --).
+func missingDash() {
+	_ = time.Now() //tcpz:allow nodeterm the dash before this reason is missing // want `malformed //tcpz:allow: reason must be introduced by`
+}
+
+// The named analyzer must exist — and a typo suppresses nothing, so the
+// line it meant to cover is still reported.
+func unknownName() {
+	//tcpz:allow nodterm — typo'd analyzer name // want `//tcpz:allow names unknown analyzer "nodterm"`
+	_ = time.Now() // want `time\.Now is nondeterministic`
+}

@@ -1,0 +1,19 @@
+// Fixture: hashfield violations. The Scenario here disagrees with its
+// scenarioHashExclusions map in every way the analyzer distinguishes:
+// excluded-but-unpinned, pinned-but-participating, pinned-with-no-reason,
+// and a stale entry naming no field.
+package sweep
+
+type Scenario struct {
+	Seed     int64  `json:"seed"`
+	Attack   string `json:"attack"`
+	Shards   int    `json:"-"`       // want `field Shards is excluded from the cache hash \(json:"-"\) but not pinned`
+	Workers  int    `json:"workers"` // want `field Workers participates in the cache hash but is pinned`
+	NoReason bool   `json:"-"`
+}
+
+var scenarioHashExclusions = map[string]string{
+	"Workers":  "left behind after the field was re-tagged to participate",
+	"NoReason": "",                                  // want `exclusion entry for NoReason has an empty reason`
+	"Ghost":    "the field this pinned was deleted", // want `exclusion entry "Ghost" names no Scenario field`
+}

@@ -1,0 +1,17 @@
+// Fixture: a clean hashfield package. Every json:"-" field is pinned with
+// a reason (or carries a reviewed //tcpz:allow), every pinned entry names
+// a real excluded field, and the analyzer stays silent.
+package sweep
+
+type Scenario struct {
+	Seed   int64  `json:"seed"`
+	Attack string `json:"attack"`
+	Shards int    `json:"-"`
+	//tcpz:allow hashfield — scratch knob under review; pin or remove before release
+	Scratch int `json:"-"`
+}
+
+var scenarioHashExclusions = map[string]string{
+	"Shards": "execution topology only; the determinism matrix pins result " +
+		"equality across shard counts",
+}

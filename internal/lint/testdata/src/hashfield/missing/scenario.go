@@ -1,0 +1,9 @@
+// Fixture: a sweep package that declares a Scenario but no
+// scenarioHashExclusions map at all — the analyzer anchors one diagnostic
+// on the type.
+package sweep
+
+type Scenario struct { // want `no scenarioHashExclusions map pinning the cache-hash exclusions`
+	Seed   int64 `json:"seed"`
+	Shards int   `json:"-"`
+}

@@ -1,0 +1,18 @@
+// Fixture: the same ambient-nondeterminism sins as the determ fixture,
+// type-checked as puzzlenet — a real-network package outside the
+// deterministic set. nodeterm must stay completely silent here.
+package puzzlenet
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClockIsFine() time.Time { return time.Now() }
+
+func globalRandIsFine() int { return rand.Intn(4) }
+
+func envIsFine() string { return os.Getenv("HOME") }
+
+func goroutinesAreFine() { go wallClockIsFine() }

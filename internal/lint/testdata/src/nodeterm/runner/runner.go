@@ -1,0 +1,20 @@
+// Fixture: sim/runner is the one deterministic package allowed to start
+// goroutines — but the rest of the contract (wall clock, global rand,
+// environment) still binds.
+package runner
+
+import "time"
+
+func workers(n int) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() { done <- struct{}{} }() // goroutines allowed here
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+func stillNoWallClock() time.Time {
+	return time.Now() // want `time\.Now is nondeterministic`
+}

@@ -1,0 +1,76 @@
+// Fixture: snapfields walks the static type graph of every argument to
+// netsim.CaptureState (stubbed here; the fixture is type-checked as
+// netsim) and flags chan, func, and sync fields the reflective copier
+// cannot restore on rollback.
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+func CaptureState(roots ...any) any { return nil }
+
+// Engine is one of the copier's skip types: the shard runner snapshots it
+// itself, so nothing inside it is walked.
+type Engine struct {
+	mu   sync.Mutex
+	wake chan int
+}
+
+type Metrics struct {
+	counts map[string]int
+	hist   []float64
+}
+
+type BadServer struct {
+	mu     sync.Mutex // want `sync field sync\.Mutex BadServer\.mu is captured by netsim\.CaptureState`
+	wake   chan int   // want `chan field BadServer\.wake is captured`
+	onLen  func() int // want `func field BadServer\.onLen is captured`
+	nested inner
+	eng    *Engine // skip type: silent
+	stats  Metrics
+}
+
+// Nested structs are walked field by field.
+type inner struct {
+	notify func() // want `func field BadServer\.nested\.notify is captured`
+	depth  int
+}
+
+// Plain data all the way down: never reported.
+type GoodServer struct {
+	eng    *Engine
+	stats  Metrics
+	loc    *time.Location // immutable, copier-skipped
+	matrix [][]float64
+	peers  map[int]*GoodServer
+}
+
+// Interfaces stop the static walk; the dynamic type is captured at
+// runtime through whatever concrete root holds it.
+type Holder struct {
+	anything any
+}
+
+type Annotated struct {
+	//tcpz:allow snapfields — drained before every capture window; empty on restore by construction
+	signal chan struct{}
+}
+
+func capture(b *BadServer, g *GoodServer, h *Holder, a *Annotated) {
+	CaptureState(b, g, h, a)
+}
+
+// Fields declared in another package cannot carry an annotation, so the
+// diagnostic falls back to the call site.
+func captureForeign(tm *time.Timer) {
+	CaptureState(tm) // want `captured state reaches Timer\.C \(chan field\)`
+}
+
+// Untouched types are never walked, no matter how hostile.
+type neverCaptured struct {
+	ch chan int
+	fn func()
+	mu sync.Mutex
+}

@@ -160,9 +160,11 @@ func (n *Network) runWindows(until time.Duration, la []time.Duration) {
 	var wg sync.WaitGroup
 	for i, s := range n.shards {
 		starts[i] = make(chan time.Duration, 1)
+		//tcpz:allow nodeterm — shard workers advance in lock-step windows; the wg barrier fully orders cross-shard state, pinned by TestShardDeterminismMatrix
 		go func(i int, s *netShard, start <-chan time.Duration) {
 			for end := range start {
 				s.eng.RunBefore(end)
+				//tcpz:allow nodeterm — wall clock feeds only ShardStats barrier-wait observability, never simulation state or sink bytes
 				finish[i] = time.Now()
 				wg.Done()
 			}

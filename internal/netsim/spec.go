@@ -248,6 +248,7 @@ func (n *Network) runSpeculative(until time.Duration) {
 	var wg sync.WaitGroup
 	for i, s := range n.shards {
 		starts[i] = make(chan time.Duration, 1)
+		//tcpz:allow nodeterm — speculative rounds run shard quanta concurrently; rollback + re-execution to the fixed point restores the conservative order, pinned by the oracle differentials
 		go func(s *netShard, start <-chan time.Duration) {
 			for end := range start {
 				s.eng.RunBefore(end)

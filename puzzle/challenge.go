@@ -101,8 +101,10 @@ func NewIssuer(opts ...IssuerOption) (*Issuer, error) {
 		params:  DefaultParams(),
 		maxAge:  DefaultMaxAge,
 		maxSkew: DefaultMaxSkew,
-		now:     time.Now,
+		//tcpz:allow nodeterm — injectable default only; the simulator always overrides it with the engine clock via WithClock
+		now: time.Now,
 	}
+	//tcpz:allow nodeterm — the secret only keys preimage derivation; simulated results are secret-independent (pzengine.Sim charges counts both sides derive from the same challenge) and real-protocol callers need a fresh secret
 	if _, err := rand.Read(is.secret[:]); err != nil {
 		return nil, fmt.Errorf("puzzle: generate secret: %w", err)
 	}
