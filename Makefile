@@ -6,7 +6,7 @@ GO ?= go
 # samples to test significance on (benchstat wants >= 10 for tight CIs).
 COUNT ?= 10
 
-.PHONY: build test race lint bench bench-smoke bench-engine bench-scale fuzz-smoke
+.PHONY: build test race lint bench bench-smoke bench-engine bench-scale fuzz-smoke load-smoke
 
 build:
 	$(GO) build ./...
@@ -53,3 +53,11 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzCookieRoundTrip -fuzztime=10s ./syncookie
 	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=10s ./puzzlenet
 	$(GO) test -fuzz=FuzzSpeculativeEquivalence -fuzztime=10s ./internal/netsim
+
+# Real-network robustness smoke (docs/ROBUSTNESS.md): the fault-injected
+# chaos suite under the race detector, then a self-hosted tcpz-load run
+# that must sustain >= 500 completed handshakes on loopback.
+load-smoke:
+	$(GO) test -race -run 'TestChaos' -v ./puzzlenet
+	$(GO) build -o bin/tcpz-load ./cmd/tcpz-load
+	bin/tcpz-load -self -duration 3s -clients 12 -attackers 6 -min-handshakes 500

@@ -1,0 +1,117 @@
+// Command tcpz-load replays a scenario-shaped load mix against a puzzle
+// proxy over real sockets and reports completed-handshake throughput,
+// preamble latency percentiles, and shed/reject counts — the measurement
+// companion to cmd/tcpz-proxy.
+//
+// Usage:
+//
+//	tcpz-load -self -duration 3s -clients 12 -attackers 6        # in-process proxy
+//	tcpz-load -target 127.0.0.1:8080 -clients 20 -rate 5         # live proxy
+//	tcpz-load -self -scenario nash.json                          # sweep.Scenario mix
+//
+// With -min-handshakes N the exit status is nonzero when fewer than N
+// handshakes complete — the CI smoke gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/internal/loadgen"
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tcpz-load:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tcpz-load", flag.ContinueOnError)
+	target := fs.String("target", "", "proxy address to load (omit with -self)")
+	self := fs.Bool("self", false, "spin up an in-process backend+listener+proxy on loopback")
+	scenario := fs.String("scenario", "", "JSON file holding a sweep.Scenario to derive the mix from")
+	duration := fs.Duration("duration", 5*time.Second, "run length")
+	clients := fs.Int("clients", 10, "honest client workers")
+	rate := fs.Float64("rate", 0, "per-client handshake attempts/sec (0 = closed loop)")
+	attackers := fs.Int("attackers", 0, "attacker workers")
+	attack := fs.String("attack", loadgen.AttackNoSolve, "attacker behaviour: nosolve|stall|garbage|solve")
+	attackRate := fs.Float64("attack-rate", 0, "per-attacker connections/sec (0 = closed loop)")
+	k := fs.Int("k", 1, "solutions per challenge (self mode)")
+	m := fs.Int("m", 4, "difficulty bits per solution (self mode)")
+	l := fs.Int("l", 32, "preimage/solution length in bits")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-handshake timeout")
+	payload := fs.Int("payload", 16, "echo payload bytes per handshake")
+	minHandshakes := fs.Uint64("min-handshakes", 0, "exit nonzero when fewer handshakes complete")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := loadgen.Config{
+		Target:           *target,
+		Duration:         *duration,
+		Clients:          *clients,
+		ClientRate:       *rate,
+		Attackers:        *attackers,
+		Attack:           *attack,
+		AttackRate:       *attackRate,
+		Params:           puzzle.Params{K: uint8(*k), M: uint8(*m), L: uint8(*l)},
+		HandshakeTimeout: *timeout,
+		Payload:          *payload,
+	}
+	if *scenario != "" {
+		data, err := os.ReadFile(*scenario)
+		if err != nil {
+			return err
+		}
+		var sc sweep.Scenario
+		if err := json.Unmarshal(data, &sc); err != nil {
+			return fmt.Errorf("parse scenario %s: %w", *scenario, err)
+		}
+		derived := loadgen.FromScenario(sc)
+		derived.Target = cfg.Target
+		derived.Duration = *duration // scenario durations are simulator-scale
+		derived.HandshakeTimeout = cfg.HandshakeTimeout
+		derived.Payload = cfg.Payload
+		cfg = derived
+	}
+
+	if *self {
+		addr, l, p, shutdown, err := loadgen.SelfHost(cfg)
+		if err != nil {
+			return err
+		}
+		cfg.Target = addr
+		fmt.Printf("tcpz-load: self-hosted proxy at %s, difficulty %v\n", addr, cfg.Params)
+		report, runErr := loadgen.Run(context.Background(), cfg)
+		if runErr == nil {
+			ls, ps := l.Stats(), p.Stats()
+			report.Listener, report.Proxy = &ls, &ps
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "tcpz-load: shutdown:", err)
+		}
+		if runErr != nil {
+			return runErr
+		}
+		return report.Print(*minHandshakes)
+	}
+
+	if cfg.Target == "" {
+		return fmt.Errorf("need -target or -self")
+	}
+	report, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	return report.Print(*minHandshakes)
+}

@@ -1,0 +1,96 @@
+package puzzlenet
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// admission is per-source token-bucket admission control keyed by the
+// remote host (port stripped, so one attacking machine cannot mint a fresh
+// bucket per ephemeral port). It refills lazily on each check and bounds
+// its own memory: when the bucket table exceeds maxSources, fully-refilled
+// (idle) buckets are evicted, and if none are idle the table is cleared —
+// a bounded-memory trade that at worst briefly re-grants a burst to active
+// sources, which the pending-verification limit still caps.
+type admission struct {
+	mu         sync.Mutex
+	rate       float64 // tokens per second
+	burst      float64 // bucket capacity
+	maxSources int
+	buckets    map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// defaultMaxSources bounds the bucket table (≈100 B/entry → a few MiB
+// worst case).
+const defaultMaxSources = 1 << 15
+
+func newAdmission(rate float64, burst int) *admission {
+	if burst < 1 {
+		burst = 1
+	}
+	return &admission{
+		rate:       rate,
+		burst:      float64(burst),
+		maxSources: defaultMaxSources,
+		buckets:    make(map[string]*bucket),
+	}
+}
+
+// allow spends one token from addr's bucket, reporting whether the
+// connection is admitted.
+func (a *admission) allow(addr net.Addr, now time.Time) bool {
+	key := hostOnly(addr)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.buckets[key]
+	if b == nil {
+		if len(a.buckets) >= a.maxSources {
+			a.evictLocked(now)
+		}
+		b = &bucket{tokens: a.burst, last: now}
+		a.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * a.rate
+		if b.tokens > a.burst {
+			b.tokens = a.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// evictLocked drops idle buckets (refilled to capacity by now); if every
+// source is active it clears the table rather than grow without bound.
+func (a *admission) evictLocked(now time.Time) {
+	for key, b := range a.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*a.rate >= a.burst {
+			delete(a.buckets, key)
+		}
+	}
+	if len(a.buckets) >= a.maxSources {
+		a.buckets = make(map[string]*bucket)
+	}
+}
+
+// hostOnly extracts the host part of an address, falling back to the whole
+// string for non-host/port addresses (pipes, in-memory test conns).
+func hostOnly(addr net.Addr) string {
+	if addr == nil {
+		return ""
+	}
+	s := addr.String()
+	if host, _, err := net.SplitHostPort(s); err == nil {
+		return host
+	}
+	return s
+}

@@ -1,0 +1,118 @@
+package puzzlenet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's observable state.
+type BreakerState int
+
+const (
+	// BreakerClosed: the backend is healthy, dials flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: consecutive failures reached the threshold; dials are
+	// refused (DegradeShed) or attempted anyway (DegradePassThrough) until
+	// the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed; one probe dial is in flight.
+	// Success closes the breaker, failure reopens it.
+	BreakerHalfOpen
+)
+
+// String implements fmt.Stringer.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a consecutive-failure circuit breaker guarding backend dials.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open duration before a half-open probe
+	failures  int
+	state     BreakerState
+	openedAt  time.Time
+	probing   bool   // a half-open probe is in flight
+	opens     uint64 // transitions into BreakerOpen
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a dial may proceed at now. In the open state it
+// returns false until the cooldown elapses, then admits exactly one probe
+// (half-open) at a time.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a successful dial, closing the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// failure records a failed dial: a half-open probe failure reopens the
+// breaker immediately; in the closed state the threshold applies.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.open(now)
+	case BreakerClosed:
+		b.failures++
+		if b.threshold > 0 && b.failures >= b.threshold {
+			b.open(now)
+		}
+	case BreakerOpen:
+		// Pass-through dials can fail while open; refresh the window so
+		// the cooldown measures from the latest observed failure.
+		b.openedAt = now
+	}
+}
+
+func (b *breaker) open(now time.Time) {
+	b.state = BreakerOpen
+	b.openedAt = now
+	b.probing = false
+	b.failures = 0
+	b.opens++
+}
+
+// snapshot returns the current state and the open-transition count.
+func (b *breaker) snapshot() (BreakerState, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.opens
+}

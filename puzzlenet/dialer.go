@@ -3,16 +3,38 @@ package puzzlenet
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"github.com/tcppuzzles/tcppuzzles/puzzle"
 	"github.com/tcppuzzles/tcppuzzles/tcpopt"
 )
 
+// DialerStats is a snapshot of a Dialer's counters.
+type DialerStats struct {
+	// Dials counts TCP dial attempts (including the retry after an
+	// expired-challenge REJECT).
+	Dials uint64
+	// Welcomed counts preambles answered with WELCOME (no puzzle).
+	Welcomed uint64
+	// Solved counts challenges solved.
+	Solved uint64
+	// Accepted counts preambles that ended in ACCEPT.
+	Accepted uint64
+	// Rejected counts preambles that ended in REJECT (any reason).
+	Rejected uint64
+	// Retries counts automatic redials after an expired-challenge REJECT.
+	Retries uint64
+	// Errors counts dial and preamble failures other than REJECT.
+	Errors uint64
+}
+
 // Dialer opens connections through a puzzle-gated listener, solving
 // challenges transparently — the client half of the patched kernel.
+// A Dialer is safe for concurrent use by multiple goroutines.
 type Dialer struct {
 	// Inner performs the TCP dial; nil uses a default net.Dialer.
 	Inner *net.Dialer
@@ -21,10 +43,35 @@ type Dialer struct {
 	Solver *puzzle.Solver
 	// HandshakeTimeout bounds the preamble (default 30 s).
 	HandshakeTimeout time.Duration
-	// Stats counters (read with atomic care only in tests; the Dialer is
-	// otherwise safe for concurrent use because these are written per
-	// call without aggregation guarantees).
+	// OnSolve, when non-nil, is invoked after each successful solve with
+	// the challenge parameters and the number of hash operations spent.
+	// Concurrency contract: concurrent Dial/DialContext calls invoke it
+	// concurrently, so the callback must be safe for concurrent use (or
+	// the Dialer must not be shared). Aggregate counters are available on
+	// Stats without any callback.
 	OnSolve func(params puzzle.Params, hashes uint64)
+	// NoRetryExpired disables the automatic single redial after a server
+	// REJECT(expired). The zero value retries once: an expired challenge
+	// means the solve outlasted the replay window, and a fresh challenge
+	// usually succeeds.
+	NoRetryExpired bool
+
+	dials, welcomed, solved, accepted, rejected, retries, errs atomic.Uint64
+}
+
+// Stats returns a snapshot of the dialer counters. Counters are updated
+// atomically; a snapshot taken while dials are in flight is internally
+// consistent per counter but not across counters.
+func (d *Dialer) Stats() DialerStats {
+	return DialerStats{
+		Dials:    d.dials.Load(),
+		Welcomed: d.welcomed.Load(),
+		Solved:   d.solved.Load(),
+		Accepted: d.accepted.Load(),
+		Rejected: d.rejected.Load(),
+		Retries:  d.retries.Load(),
+		Errors:   d.errs.Load(),
+	}
 }
 
 // Dial connects and completes the puzzle preamble.
@@ -32,20 +79,44 @@ func (d *Dialer) Dial(network, addr string) (net.Conn, error) {
 	return d.DialContext(context.Background(), network, addr)
 }
 
-// DialContext connects and completes the puzzle preamble.
+// DialContext connects and completes the puzzle preamble. If the server
+// answers the solution with REJECT(expired) — the solve outlasted the
+// challenge replay window — the dialer redials and solves a fresh
+// challenge once (disable with NoRetryExpired).
 func (d *Dialer) DialContext(ctx context.Context, network, addr string) (net.Conn, error) {
+	conn, err := d.dialOnce(ctx, network, addr)
+	if err == nil || d.NoRetryExpired {
+		return conn, err
+	}
+	var rej *RejectError
+	if errors.As(err, &rej) && rej.Reason == RejectExpired {
+		d.retries.Add(1)
+		return d.dialOnce(ctx, network, addr)
+	}
+	return nil, err
+}
+
+func (d *Dialer) dialOnce(ctx context.Context, network, addr string) (net.Conn, error) {
 	inner := d.Inner
 	if inner == nil {
 		inner = &net.Dialer{}
 	}
+	d.dials.Add(1)
 	conn, err := inner.DialContext(ctx, network, addr)
 	if err != nil {
+		d.errs.Add(1)
 		return nil, err
 	}
 	if err := d.preamble(ctx, conn); err != nil {
 		_ = conn.Close()
+		if errors.Is(err, ErrRejected) {
+			d.rejected.Add(1)
+		} else {
+			d.errs.Add(1)
+		}
 		return nil, err
 	}
+	d.accepted.Add(1)
 	return conn, nil
 }
 
@@ -67,9 +138,13 @@ func (d *Dialer) preamble(ctx context.Context, conn net.Conn) error {
 	}
 	switch frameType {
 	case frameWelcome:
+		d.welcomed.Add(1)
 		return conn.SetDeadline(time.Time{})
 	case frameChallenge:
 		// fall through to solving
+	case frameReject:
+		// Fast shed before any challenge: busy or throttled.
+		return &RejectError{Reason: rejectReason(body)}
 	default:
 		return fmt.Errorf("puzzlenet: unexpected frame 0x%02x: %w", frameType, ErrProtocol)
 	}
@@ -92,6 +167,7 @@ func (d *Dialer) preamble(ctx context.Context, conn net.Conn) error {
 	if err != nil {
 		return fmt.Errorf("puzzlenet: solve: %w", err)
 	}
+	d.solved.Add(1)
 	if d.OnSolve != nil {
 		d.OnSolve(blk.Challenge.Params, stats.Hashes)
 	}
@@ -107,11 +183,14 @@ func (d *Dialer) preamble(ctx context.Context, conn net.Conn) error {
 	if err := writeFrame(conn, frameSolution, payload); err != nil {
 		return fmt.Errorf("puzzlenet: send solution: %w", err)
 	}
-	frameType, _, err = readFrame(conn)
+	frameType, body, err = readFrame(conn)
 	if err != nil {
 		return fmt.Errorf("puzzlenet: read verdict: %w", err)
 	}
 	if frameType != frameAccept {
+		if frameType == frameReject {
+			return &RejectError{Reason: rejectReason(body)}
+		}
 		return ErrRejected
 	}
 	return conn.SetDeadline(time.Time{})

@@ -18,6 +18,13 @@
 // statelessness-derived properties as the kernel protocol, though the TCP
 // connection itself is necessarily stateful here.
 //
+// REJECT carries an optional one-byte reason code (RejectReason): bad
+// solution, expired challenge, busy (pending-verification limit), or
+// throttled (per-source admission). A legacy empty payload and unknown
+// codes fold to RejectGeneric, so old and new endpoints interoperate.
+// Dialers surface the code as *RejectError (which unwraps to ErrRejected)
+// and automatically redial once on an expired-challenge REJECT.
+//
 // Listener gates accepted connections behind puzzles according to a
 // ChallengePolicy (challenge always, never, or — mirroring the kernel's
 // opportunistic controller — once the number of connections awaiting
@@ -25,4 +32,13 @@
 // transparently. Proxy implements the front-end deployment of §7: a
 // puzzle-verifying tier that forwards only verified connections to a
 // backend.
+//
+// The tier is hardened for real networks: bounded pending-verification
+// and splice concurrency with fast REJECT shedding, per-source
+// token-bucket admission, deadlines on every frame, a circuit breaker
+// with capped-jittered backoff in front of the backend, and graceful
+// drain via Listener.Shutdown / Proxy.Shutdown. Subpackage netfault
+// injects faults under real conns for the chaos suite, and
+// internal/loadgen + cmd/tcpz-load measure the tier under load. See
+// docs/ROBUSTNESS.md for the model.
 package puzzlenet

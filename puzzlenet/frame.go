@@ -22,13 +22,90 @@ const (
 const maxFrameLen = 512
 
 var (
-	// ErrRejected reports that the server rejected our solution.
+	// ErrRejected reports that the server rejected the connection. Inspect
+	// the wrapped *RejectError for the machine-readable reason.
 	ErrRejected = errors.New("puzzlenet: solution rejected")
 	// ErrProtocol reports a malformed or unexpected frame.
 	ErrProtocol = errors.New("puzzlenet: protocol error")
 	// ErrFrameTooLarge reports a frame exceeding maxFrameLen.
 	ErrFrameTooLarge = errors.New("puzzlenet: frame too large")
+	// ErrBackendDown reports that the proxy's circuit breaker is open and
+	// the degraded mode is DegradeShed.
+	ErrBackendDown = errors.New("puzzlenet: backend unavailable")
 )
+
+// RejectReason is the machine-readable cause carried in a REJECT frame's
+// first payload byte. Legacy peers send an empty payload, which decodes as
+// RejectGeneric; unknown future codes also fold into RejectGeneric on the
+// client so the reason set can grow.
+type RejectReason uint8
+
+const (
+	// RejectGeneric is an unspecified rejection (also the legacy empty
+	// payload).
+	RejectGeneric RejectReason = 0
+	// RejectBadSolution reports a solution that failed verification.
+	RejectBadSolution RejectReason = 1
+	// RejectExpired reports a solution whose challenge fell outside the
+	// replay window — the one retryable rejection (the client was honest,
+	// just slow).
+	RejectExpired RejectReason = 2
+	// RejectBusy reports load shedding: the pending-verification limit was
+	// reached and the server refused to queue the connection.
+	RejectBusy RejectReason = 3
+	// RejectThrottled reports per-source admission control: the source
+	// exceeded its token-bucket rate.
+	RejectThrottled RejectReason = 4
+)
+
+// String implements fmt.Stringer.
+func (r RejectReason) String() string {
+	switch r {
+	case RejectBadSolution:
+		return "bad-solution"
+	case RejectExpired:
+		return "expired"
+	case RejectBusy:
+		return "busy"
+	case RejectThrottled:
+		return "throttled"
+	default:
+		return "rejected"
+	}
+}
+
+// RejectError is the error returned by Dialer when the server answers with
+// a REJECT frame. It unwraps to ErrRejected, so existing
+// errors.Is(err, ErrRejected) checks keep working.
+type RejectError struct {
+	Reason RejectReason
+}
+
+// Error implements error.
+func (e *RejectError) Error() string {
+	return fmt.Sprintf("puzzlenet: server rejected connection (%s)", e.Reason)
+}
+
+// Unwrap lets errors.Is(err, ErrRejected) match.
+func (e *RejectError) Unwrap() error { return ErrRejected }
+
+// writeReject writes a REJECT frame carrying the reason byte.
+func writeReject(w io.Writer, reason RejectReason) error {
+	return writeFrame(w, frameReject, []byte{byte(reason)})
+}
+
+// rejectReason decodes a REJECT payload; empty (legacy) and unknown codes
+// fold into RejectGeneric.
+func rejectReason(body []byte) RejectReason {
+	if len(body) == 0 {
+		return RejectGeneric
+	}
+	r := RejectReason(body[0])
+	if r > RejectThrottled {
+		return RejectGeneric
+	}
+	return r
+}
 
 // writeFrame writes one frame: [type:1][len:2 BE][payload].
 func writeFrame(w io.Writer, frameType byte, payload []byte) error {

@@ -3,6 +3,7 @@ package puzzlenet
 import (
 	"bytes"
 	"testing"
+	"testing/iotest"
 )
 
 // FuzzFrameDecode fuzzes the preamble frame codec on arbitrary wire bytes:
@@ -20,9 +21,26 @@ func FuzzFrameDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{frameSolution, 0xff, 0xff})
 	f.Add([]byte{frameAccept, 0, 0})
+	// Truncated frame: header promises 16 payload bytes, stream carries 3.
+	f.Add([]byte{frameChallenge, 0x00, 0x10, 1, 2, 3})
+	// Oversize length prefix: 513 > maxFrameLen, must reject from the header.
+	f.Add([]byte{frameSolution, 0x02, 0x01})
+	// Bare header with a length and no payload at all.
+	f.Add([]byte{frameReject, 0x00, 0x01})
+	// REJECT with a reason byte (the extended shed/expiry signalling).
+	f.Add([]byte{frameReject, 0x00, 0x01, byte(RejectBusy)})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
 		frameType, payload, err := readFrame(r)
+		// Split writes: a peer trickling one byte per segment must decode
+		// to the same verdict as the contiguous stream.
+		obType, obPayload, obErr := readFrame(iotest.OneByteReader(bytes.NewReader(data)))
+		if (err == nil) != (obErr == nil) {
+			t.Fatalf("split-write decode disagrees: %v vs %v", err, obErr)
+		}
+		if err == nil && (obType != frameType || !bytes.Equal(obPayload, payload)) {
+			t.Fatalf("split-write frame differs: %v %x vs %v %x", obType, obPayload, frameType, payload)
+		}
 		if err != nil {
 			// Length prefixes beyond the bound must be caught from the
 			// header alone, with no payload read.

@@ -1,0 +1,263 @@
+// Package netfault injects deterministic network faults under real
+// net.Conn / net.Listener values: byte-level delays, chunked slow-loris
+// writes, truncated streams, stalled reads, timed resets, and
+// refused/black-holed backend dialers. It exists to drive chaos suites
+// against the puzzlenet tier — every failure mode the simulator models
+// (slow links, dead peers, mid-handshake resets) expressed as a wrapper a
+// test can compose onto either side of a live loopback connection.
+//
+// Faults are plain data (Fault) applied per connection; a Listener applies
+// a Plan callback to each accepted connection, so a test can inject a
+// different fault per accept index deterministically.
+package netfault
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrTruncated reports a write cut short by Fault.TruncateWritesAfter.
+var ErrTruncated = errors.New("netfault: stream truncated")
+
+// ErrRefused reports a dial refused by Refuse.
+var ErrRefused = errors.New("netfault: connection refused")
+
+// Fault describes the misbehaviour injected into one connection. The zero
+// value injects nothing.
+type Fault struct {
+	// ReadDelay pauses before every Read.
+	ReadDelay time.Duration
+	// WriteDelay pauses before every Write (and before every chunk when
+	// ChunkBytes splits writes).
+	WriteDelay time.Duration
+	// ChunkBytes splits each Write into chunks of at most this many bytes,
+	// each preceded by WriteDelay — the slow-loris shape. Zero writes
+	// whole buffers.
+	ChunkBytes int
+	// TruncateWritesAfter cuts the stream after this many written bytes:
+	// the remainder of the offending Write is dropped, the connection is
+	// closed, and ErrTruncated is returned. Zero disables.
+	TruncateWritesAfter int
+	// StallReadsAfter blocks every Read after this many bytes have been
+	// read, until the connection is closed. Zero disables; to stall from
+	// the first byte use a negative value.
+	StallReadsAfter int
+	// CloseAfter arms a timer that hard-closes the connection (with an
+	// RST where the transport supports it) after the duration — the
+	// mid-preamble reset. Zero disables.
+	CloseAfter time.Duration
+}
+
+// Conn wraps a net.Conn, injecting the configured fault. Close is safe to
+// call multiple times and unblocks stalled reads and pending delays.
+type Conn struct {
+	net.Conn
+	fault Fault
+
+	mu           sync.Mutex
+	readBytes    int
+	writtenBytes int
+
+	done      chan struct{}
+	closeOnce sync.Once
+	timer     *time.Timer
+}
+
+// New wraps conn with the fault.
+func New(conn net.Conn, fault Fault) *Conn {
+	c := &Conn{Conn: conn, fault: fault, done: make(chan struct{})}
+	if fault.CloseAfter > 0 {
+		c.mu.Lock()
+		c.timer = time.AfterFunc(fault.CloseAfter, func() { _ = c.reset() })
+		c.mu.Unlock()
+	}
+	return c
+}
+
+// delay sleeps for d unless the connection closes first; it reports
+// whether the connection is still open.
+func (c *Conn) delay(d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-c.done:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	stalled := c.fault.StallReadsAfter != 0 && c.readBytes >= max(c.fault.StallReadsAfter, 0)
+	c.mu.Unlock()
+	if stalled {
+		<-c.done
+		return 0, net.ErrClosed
+	}
+	if !c.delay(c.fault.ReadDelay) {
+		return 0, net.ErrClosed
+	}
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.readBytes += n
+	c.mu.Unlock()
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	chunk := c.fault.ChunkBytes
+	if chunk <= 0 {
+		chunk = len(p)
+	}
+	var written int
+	for written < len(p) {
+		if !c.delay(c.fault.WriteDelay) {
+			return written, net.ErrClosed
+		}
+		end := written + chunk
+		if end > len(p) {
+			end = len(p)
+		}
+		part := p[written:end]
+		truncated := false
+		if c.fault.TruncateWritesAfter > 0 {
+			c.mu.Lock()
+			budget := c.fault.TruncateWritesAfter - c.writtenBytes
+			c.mu.Unlock()
+			if budget <= 0 {
+				_ = c.Close()
+				return written, ErrTruncated
+			}
+			if len(part) > budget {
+				part = part[:budget]
+				truncated = true
+			}
+		}
+		n, err := c.Conn.Write(part)
+		c.mu.Lock()
+		c.writtenBytes += n
+		c.mu.Unlock()
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if truncated {
+			// The budget cut this chunk short: truncate the stream here.
+			_ = c.Close()
+			return written, ErrTruncated
+		}
+	}
+	return written, nil
+}
+
+// Close implements net.Conn; it releases stalled reads and pending delays.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.mu.Lock()
+		if c.timer != nil {
+			c.timer.Stop()
+		}
+		c.mu.Unlock()
+		err = c.Conn.Close()
+	})
+	return err
+}
+
+// reset hard-closes: for TCP the zero linger turns the close into an RST,
+// which is what a mid-preamble reset looks like on the wire.
+func (c *Conn) reset() error {
+	if tcp, ok := c.Conn.(*net.TCPConn); ok {
+		_ = tcp.SetLinger(0)
+	}
+	return c.Close()
+}
+
+// Listener wraps a net.Listener, applying Plan to every accepted
+// connection. The accept index i starts at 0 and increments per accept, so
+// a deterministic plan can assign faults round-robin or by position.
+type Listener struct {
+	net.Listener
+	// Plan returns the fault for the i-th accepted connection. A nil Plan
+	// injects nothing.
+	Plan func(i int, conn net.Conn) Fault
+
+	mu sync.Mutex
+	n  int
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.n
+	l.n++
+	l.mu.Unlock()
+	if l.Plan == nil {
+		return conn, nil
+	}
+	return New(conn, l.Plan(i, conn)), nil
+}
+
+// Refuse returns a context-aware dial function that fails every dial
+// immediately — the dead-backend fault.
+func Refuse() func(ctx context.Context, addr string) (net.Conn, error) {
+	return func(context.Context, string) (net.Conn, error) {
+		return nil, ErrRefused
+	}
+}
+
+// Blackhole returns a context-aware dial function that never completes:
+// it blocks until ctx is done and returns its error — the black-holed
+// backend (SYNs into the void). Callers must bound the dial with a
+// context deadline, as puzzlenet.Proxy does.
+func Blackhole() func(ctx context.Context, addr string) (net.Conn, error) {
+	return func(ctx context.Context, _ string) (net.Conn, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+}
+
+// FailN returns a context-aware dial function that fails the first n dials
+// with ErrRefused, then delegates to next — the recovering backend, for
+// breaker and retry tests.
+func FailN(n int, next func(ctx context.Context, addr string) (net.Conn, error)) func(ctx context.Context, addr string) (net.Conn, error) {
+	var mu sync.Mutex
+	var failed int
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		mu.Lock()
+		fail := failed < n
+		if fail {
+			failed++
+		}
+		mu.Unlock()
+		if fail {
+			return nil, ErrRefused
+		}
+		return next(ctx, addr)
+	}
+}
+
+// DialTCP is a context-aware TCP dialer for composing with FailN.
+func DialTCP(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}

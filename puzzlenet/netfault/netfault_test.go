@@ -1,0 +1,189 @@
+package netfault
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns two ends of an in-memory connection.
+func pipePair() (net.Conn, net.Conn) {
+	return net.Pipe()
+}
+
+func TestZeroFaultIsTransparent(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	fb := New(b, Fault{})
+	defer fb.Close()
+
+	msg := []byte("hello")
+	go func() { _, _ = a.Write(msg) }()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(fb, buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Errorf("read %q, want %q", buf, msg)
+	}
+}
+
+func TestTruncateWritesAfter(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	fa := New(a, Fault{TruncateWritesAfter: 3})
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf, _ := io.ReadAll(b)
+		got <- buf
+	}()
+	n, err := fa.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Write error = %v, want ErrTruncated", err)
+	}
+	if n != 3 {
+		t.Errorf("wrote %d bytes, want 3", n)
+	}
+	// The truncating side closed itself; the peer sees EOF after 3 bytes.
+	if buf := <-got; !bytes.Equal(buf, []byte("abc")) {
+		t.Errorf("peer read %q, want %q", buf, "abc")
+	}
+	// Further writes fail without touching the inner conn.
+	if _, err := fa.Write([]byte("x")); err == nil {
+		t.Error("write after truncation succeeded")
+	}
+}
+
+func TestStallReadsUnblockOnClose(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	fb := New(b, Fault{StallReadsAfter: -1})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := fb.Read(make([]byte, 1))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	_ = fb.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("stalled read error = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled read did not unblock on Close")
+	}
+}
+
+func TestChunkedSlowWrites(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fa := New(a, Fault{ChunkBytes: 2, WriteDelay: 10 * time.Millisecond})
+	defer fa.Close()
+
+	msg := []byte("abcdef")
+	start := time.Now()
+	go func() { _, _ = fa.Write(msg) }()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Errorf("read %q, want %q", buf, msg)
+	}
+	// 3 chunks × 10ms delay each.
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("chunked write took %v, want >= 30ms of pacing", elapsed)
+	}
+}
+
+func TestCloseAfterResets(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	fb := New(b, Fault{CloseAfter: 30 * time.Millisecond})
+	defer fb.Close()
+
+	buf := make([]byte, 1)
+	if _, err := fb.Read(buf); err == nil {
+		t.Fatal("read after timed reset succeeded")
+	}
+}
+
+func TestListenerPlanPerAccept(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	var indices []int
+	fl := &Listener{Listener: inner, Plan: func(i int, _ net.Conn) Fault {
+		indices = append(indices, i)
+		return Fault{}
+	}}
+	defer fl.Close()
+
+	accepted := make(chan net.Conn, 2)
+	go func() {
+		for i := 0; i < 2; i++ {
+			c, err := fl.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		c, err := net.Dial("tcp", fl.Addr().String())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		defer c.Close()
+		(<-accepted).Close()
+	}
+	if len(indices) != 2 || indices[0] != 0 || indices[1] != 1 {
+		t.Errorf("plan indices = %v, want [0 1]", indices)
+	}
+}
+
+func TestBackendDialers(t *testing.T) {
+	if _, err := Refuse()(context.Background(), "x"); !errors.Is(err, ErrRefused) {
+		t.Errorf("Refuse error = %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := Blackhole()(ctx, "x"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Blackhole error = %v", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Error("Blackhole returned before ctx deadline")
+	}
+
+	calls := 0
+	next := func(context.Context, string) (net.Conn, error) {
+		calls++
+		return nil, nil
+	}
+	dial := FailN(2, next)
+	for i := 0; i < 2; i++ {
+		if _, err := dial(context.Background(), "x"); !errors.Is(err, ErrRefused) {
+			t.Fatalf("FailN dial %d error = %v, want ErrRefused", i, err)
+		}
+	}
+	if _, err := dial(context.Background(), "x"); err != nil {
+		t.Fatalf("FailN dial 3 error = %v, want delegate", err)
+	}
+	if calls != 1 {
+		t.Errorf("delegate called %d times, want 1", calls)
+	}
+}

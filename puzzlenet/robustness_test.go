@@ -1,0 +1,455 @@
+package puzzlenet
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/tcppuzzles/tcppuzzles/puzzle"
+	"github.com/tcppuzzles/tcppuzzles/puzzlenet/netfault"
+)
+
+// leakCheck snapshots the goroutine count and registers a cleanup that
+// fails the test if the count has not settled back by its deadline. Call
+// it before creating any listener/proxy/backends so their cleanups (which
+// run LIFO, i.e. before this check) have already torn everything down.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if n := runtime.NumGoroutine(); n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Errorf("goroutine leak: %d before, %d after settle\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	})
+}
+
+func TestListenerShutdownForceClosesStalledPreambles(t *testing.T) {
+	leakCheck(t)
+	issuer, err := puzzle.NewIssuer(puzzle.WithParams(testParams))
+	if err != nil {
+		t.Fatalf("NewIssuer: %v", err)
+	}
+	// Long handshake timeout: stalled preambles would pin goroutines for
+	// 30s without the forced drain.
+	l, err := Listen("127.0.0.1:0", issuer)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go func() {
+		for {
+			if _, err := l.Accept(); err != nil {
+				return
+			}
+		}
+	}()
+
+	// 16 clients that read the challenge and stall forever.
+	var conns []net.Conn
+	for i := 0; i < 16; i++ {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		conns = append(conns, c)
+	}
+	// Wait until the preambles are in flight.
+	waitFor(t, time.Second, func() bool { return l.Stats().Inflight >= 16 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = l.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Shutdown error = %v, want DeadlineExceeded (stalled preambles)", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Shutdown took %v, want close to the 300ms deadline", elapsed)
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+}
+
+func TestListenerShutdownCleanWhenIdle(t *testing.T) {
+	leakCheck(t)
+	l, _ := newTestListener(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := l.Shutdown(ctx); err != nil {
+		t.Errorf("Shutdown on idle listener = %v, want nil", err)
+	}
+}
+
+func TestConcurrentAcceptClose(t *testing.T) {
+	// Accept racing Close must neither panic nor deadlock, and every
+	// Accept must return net.ErrClosed after Close.
+	leakCheck(t)
+	for round := 0; round < 10; round++ {
+		issuer, err := puzzle.NewIssuer(puzzle.WithParams(testParams))
+		if err != nil {
+			t.Fatalf("NewIssuer: %v", err)
+		}
+		l, err := Listen("127.0.0.1:0", issuer, WithHandshakeTimeout(time.Second))
+		if err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					conn, err := l.Accept()
+					if err != nil {
+						if !errors.Is(err, net.ErrClosed) {
+							t.Errorf("Accept error = %v, want net.ErrClosed", err)
+						}
+						return
+					}
+					_ = conn.Close()
+				}
+			}()
+		}
+		// A few dialers in flight while Close lands.
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				d := &Dialer{HandshakeTimeout: time.Second}
+				if conn, err := d.Dial("tcp", l.Addr().String()); err == nil {
+					_ = conn.Close()
+				}
+			}()
+		}
+		time.Sleep(time.Duration(round) * time.Millisecond)
+		_ = l.Close()
+		wg.Wait()
+	}
+}
+
+func TestProxyConcurrentServeClose(t *testing.T) {
+	leakCheck(t)
+	backend := newEchoBackend(t)
+	for round := 0; round < 5; round++ {
+		issuer, err := puzzle.NewIssuer(puzzle.WithParams(testParams))
+		if err != nil {
+			t.Fatalf("NewIssuer: %v", err)
+		}
+		l, err := Listen("127.0.0.1:0", issuer, WithHandshakeTimeout(time.Second))
+		if err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+		p := NewProxy(l, backend)
+		serveDone := make(chan error, 1)
+		go func() { serveDone <- p.Serve() }()
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				d := &Dialer{HandshakeTimeout: time.Second}
+				if conn, err := d.Dial("tcp", l.Addr().String()); err == nil {
+					_, _ = conn.Write([]byte("x"))
+					_ = conn.Close()
+				}
+			}()
+		}
+		time.Sleep(time.Duration(round) * 2 * time.Millisecond)
+		_ = p.Close()
+		wg.Wait()
+		if err := <-serveDone; err != nil {
+			t.Errorf("Serve returned %v after Close, want nil", err)
+		}
+	}
+}
+
+func TestMaxPendingShedsWithBusyReject(t *testing.T) {
+	leakCheck(t)
+	l, _ := newTestListener(t, WithMaxPending(1), WithHandshakeTimeout(2*time.Second))
+	echoAccepted(t, l)
+
+	// Fill the single preamble slot with a stalled client.
+	stall, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	waitFor(t, time.Second, func() bool { return l.Stats().Inflight >= 1 })
+
+	// The next dial must be shed fast with REJECT(busy).
+	d := &Dialer{HandshakeTimeout: 2 * time.Second}
+	start := time.Now()
+	_, err = d.Dial("tcp", l.Addr().String())
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Reason != RejectBusy {
+		t.Fatalf("over-limit dial error = %v, want RejectError{RejectBusy}", err)
+	}
+	if !errors.Is(err, ErrRejected) {
+		t.Error("RejectError does not unwrap to ErrRejected")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("shed took %v, want fast REJECT", elapsed)
+	}
+	if got := l.Stats().Shed; got != 1 {
+		t.Errorf("Shed = %d, want 1", got)
+	}
+
+	// Free the slot; service resumes.
+	_ = stall.Close()
+	waitFor(t, 2*time.Second, func() bool { return l.Stats().Inflight == 0 })
+	conn, err := d.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial after drain: %v", err)
+	}
+	_ = conn.Close()
+	_ = l.Close()
+}
+
+func TestSourceRateThrottles(t *testing.T) {
+	l, _ := newTestListener(t, WithSourceRate(1, 2), WithHandshakeTimeout(2*time.Second))
+	echoAccepted(t, l)
+
+	d := &Dialer{HandshakeTimeout: 2 * time.Second}
+	// Burst of 2 admitted, third throttled (all loopback dials share the
+	// 127.0.0.1 bucket).
+	for i := 0; i < 2; i++ {
+		conn, err := d.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		_ = conn.Close()
+	}
+	_, err := d.Dial("tcp", l.Addr().String())
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Reason != RejectThrottled {
+		t.Fatalf("third dial error = %v, want RejectError{RejectThrottled}", err)
+	}
+	if got := l.Stats().Throttled; got != 1 {
+		t.Errorf("Throttled = %d, want 1", got)
+	}
+}
+
+func TestDialerRetriesExpiredChallenge(t *testing.T) {
+	// A clock that issues the first challenge 2 minutes in the past: the
+	// first verification sees an expired solution and REJECTs with
+	// reason=expired; the dialer's automatic retry gets a fresh challenge
+	// and succeeds.
+	var calls atomic.Int64
+	clock := func() time.Time {
+		if calls.Add(1) == 1 {
+			return time.Now().Add(-2 * time.Minute)
+		}
+		return time.Now()
+	}
+	issuer, err := puzzle.NewIssuer(puzzle.WithParams(testParams), puzzle.WithClock(clock))
+	if err != nil {
+		t.Fatalf("NewIssuer: %v", err)
+	}
+	l, err := Listen("127.0.0.1:0", issuer)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	echoAccepted(t, l)
+
+	d := &Dialer{}
+	conn, err := d.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial with expired first challenge: %v", err)
+	}
+	_ = conn.Close()
+	stats := d.Stats()
+	if stats.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", stats.Retries)
+	}
+	if stats.Dials != 2 || stats.Accepted != 1 || stats.Rejected != 1 {
+		t.Errorf("stats = %+v, want 2 dials / 1 accepted / 1 rejected", stats)
+	}
+	if got := l.Stats().Rejected; got != 1 {
+		t.Errorf("listener Rejected = %d, want 1", got)
+	}
+
+	// NoRetryExpired surfaces the RejectError instead.
+	calls.Store(0)
+	d2 := &Dialer{NoRetryExpired: true}
+	_, err = d2.Dial("tcp", l.Addr().String())
+	var rej *RejectError
+	if !errors.As(err, &rej) || rej.Reason != RejectExpired {
+		t.Fatalf("NoRetryExpired dial error = %v, want RejectError{RejectExpired}", err)
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	leakCheck(t)
+	backend := newEchoBackend(t)
+	l, _ := newTestListener(t)
+	// First 8 dials fail: with 0 retries and threshold 3, the breaker
+	// opens after the third failed splice; after the cooldown a half-open
+	// probe reaches the healthy backend and the breaker closes.
+	p := NewProxy(l, backend,
+		WithBackendDialContext(netfault.FailN(8, netfault.DialTCP)),
+		WithBackendRetry(0, 10*time.Millisecond, 50*time.Millisecond),
+		WithBreaker(3, 100*time.Millisecond),
+		WithDialTimeout(time.Second),
+	)
+	go func() { _ = p.Serve() }()
+
+	d := &Dialer{HandshakeTimeout: 2 * time.Second}
+	dialOnce := func() error {
+		conn, err := d.Dial("tcp", l.Addr().String())
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if _, err := conn.Write([]byte("x")); err != nil {
+			return err
+		}
+		buf := make([]byte, 1)
+		_, err = io.ReadFull(conn, buf)
+		return err
+	}
+
+	// Drive failures until the breaker opens. The preamble still verifies;
+	// the splice then drops the conn, so the client sees a post-accept
+	// close.
+	waitFor(t, 5*time.Second, func() bool {
+		_ = dialOnce()
+		st := p.Stats()
+		return st.BreakerOpens >= 1
+	})
+	if st := p.Stats(); st.BackendFailures < 3 {
+		t.Errorf("BackendFailures = %d, want >= 3", st.BackendFailures)
+	}
+
+	// While open in DegradeShed, connections are dropped without dialing.
+	shedBefore := p.Stats().BackendShed
+	_ = dialOnce()
+	if got := p.Stats().BackendShed; got <= shedBefore {
+		t.Errorf("BackendShed = %d, want > %d while breaker open", got, shedBefore)
+	}
+
+	// After the cooldown, probes burn down FailN's remaining failures and
+	// then the splice path recovers end to end.
+	waitFor(t, 10*time.Second, func() bool { return dialOnce() == nil })
+	if st := p.Stats(); st.BreakerState != BreakerClosed {
+		t.Errorf("BreakerState = %v after recovery, want closed", st.BreakerState)
+	}
+	_ = p.Close()
+}
+
+func TestProxyShedsOverSpliceLimit(t *testing.T) {
+	leakCheck(t)
+	backend := newEchoBackend(t)
+	l, _ := newTestListener(t)
+	p := NewProxy(l, backend, WithMaxSplices(1))
+	go func() { _ = p.Serve() }()
+
+	d := &Dialer{HandshakeTimeout: 2 * time.Second}
+	first, err := d.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	// Establish the splice (echo round-trip proves it's live).
+	if _, err := first.Write([]byte("x")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := io.ReadFull(first, make([]byte, 1)); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+
+	// The second verified connection exceeds the limit: preamble succeeds
+	// but the proxy closes it instead of splicing.
+	second, err := d.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial second: %v", err)
+	}
+	waitFor(t, 2*time.Second, func() bool { return p.Stats().SpliceShed >= 1 })
+	_ = second.Close()
+	_ = first.Close()
+	_ = p.Close()
+}
+
+func TestProxyShutdownDeadline(t *testing.T) {
+	leakCheck(t)
+	backend := newEchoBackend(t)
+	l, _ := newTestListener(t)
+	p := NewProxy(l, backend)
+	go func() { _ = p.Serve() }()
+
+	// A live splice that never finishes on its own.
+	d := &Dialer{HandshakeTimeout: 2 * time.Second}
+	conn, err := d.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := io.ReadFull(conn, make([]byte, 1)); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = p.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Shutdown error = %v, want DeadlineExceeded (live splice)", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Shutdown took %v, want close to the deadline", elapsed)
+	}
+	_ = conn.Close()
+}
+
+// newEchoBackend starts a plain echo server and returns its address.
+func newEchoBackend(t *testing.T) string {
+	t.Helper()
+	backend, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("backend listen: %v", err)
+	}
+	t.Cleanup(func() { _ = backend.Close() })
+	go func() {
+		for {
+			conn, err := backend.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				_, _ = io.Copy(conn, conn)
+			}()
+		}
+	}()
+	return backend.Addr().String()
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("condition not reached within %v", d)
+}
